@@ -1,0 +1,517 @@
+//! An NVML-like undo-logging durable transaction system (§5.2.2).
+//!
+//! NVML (Intel's early pmem library, today PMDK) uses undo logging with
+//! *static* transactions: the write set must be declared so old values can
+//! be logged — and persisted — **before** any in-place update, giving one
+//! persist barrier per declared range (the per-update persist-ordering cost
+//! of §2.2). NVML itself guarantees no isolation; the paper pairs it with
+//! fine-grained locks, modeled here as striped two-phase locks acquired at
+//! declaration time with try-lock + full restart to stay deadlock-free.
+//!
+//! Commit protocol per transaction:
+//!
+//! 1. per `declare_write`: acquire stripe locks, append `(addr, old values)`
+//!    to the thread's undo log, **persist** (one barrier each);
+//! 2. in-place writes, each flushed (unfenced);
+//! 3. commit: fence the data, then invalidate the undo log and persist the
+//!    invalidation (two more barriers).
+//!
+//! Recovery rolls back any transaction whose undo log is still marked
+//! active.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dude_nvm::{Nvm, Region};
+use dude_txapi::{PAddr, TxAbort, TxResult, Txn, TxnOutcome, TxnSystem, TxnThread};
+use parking_lot::Mutex;
+
+use crate::BaselineConfig;
+
+const UNDO_MAGIC: u64 = 0xBADC_0FFE_E0DD_F00D;
+/// Undo-log header: [0] = status (0 idle, 1 active).
+const LOG_HEADER_WORDS: u64 = 1;
+const STRIPES: usize = 1 << 12;
+
+fn undo_checksum(addr: u64, words: u64) -> u64 {
+    UNDO_MAGIC ^ addr.rotate_left(7) ^ words.rotate_left(29)
+}
+
+/// The NVML-like system.
+#[derive(Debug)]
+pub struct NvmlLike {
+    nvm: Arc<Nvm>,
+    heap: Region,
+    logs: Vec<Region>,
+    /// Striped 2PL locks (the external concurrency control NVML needs).
+    stripes: Vec<Mutex<()>>,
+    next_slot: AtomicUsize,
+    config: BaselineConfig,
+}
+
+impl NvmlLike {
+    /// Creates a fresh system on `nvm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device cannot hold the configured logs plus heap.
+    pub fn create(nvm: Arc<Nvm>, config: BaselineConfig) -> Self {
+        config.validate();
+        let (logs, heap) = Self::layout(&nvm, &config);
+        for log in &logs {
+            nvm.write_word(log.start(), 0);
+            nvm.persist(log.start(), 8);
+        }
+        Self::build(nvm, config, logs, heap)
+    }
+
+    /// Recovers after a crash: rolls back every transaction whose undo log
+    /// is still marked active.
+    pub fn recover(nvm: Arc<Nvm>, config: BaselineConfig) -> Self {
+        config.validate();
+        let (logs, heap) = Self::layout(&nvm, &config);
+        for log in &logs {
+            if nvm.read_word(log.start()) != 1 {
+                continue; // idle: nothing in flight on this thread
+            }
+            // Roll back: apply undo records in reverse append order.
+            let mut records = Vec::new();
+            let mut off = LOG_HEADER_WORDS;
+            let cap = log.len() / 8;
+            while off + 3 <= cap {
+                let addr = nvm.read_word(log.start() + off * 8);
+                let words = nvm.read_word(log.start() + (off + 1) * 8);
+                let sum = nvm.read_word(log.start() + (off + 2) * 8);
+                if sum != undo_checksum(addr, words) || off + 3 + words > cap {
+                    break; // end of intact records (or torn tail)
+                }
+                let mut olds = vec![0u64; words as usize];
+                nvm.read_words(log.start() + (off + 3) * 8, &mut olds);
+                records.push((addr, olds));
+                off += 3 + words;
+            }
+            for (addr, olds) in records.into_iter().rev() {
+                for (i, old) in olds.into_iter().enumerate() {
+                    let o = heap.start() + addr + 8 * i as u64;
+                    nvm.write_word(o, old);
+                    nvm.flush(o, 8);
+                }
+            }
+            nvm.fence();
+            nvm.write_word(log.start(), 0);
+            nvm.persist(log.start(), 8);
+        }
+        Self::build(nvm, config, logs, heap)
+    }
+
+    fn layout(nvm: &Nvm, config: &BaselineConfig) -> (Vec<Region>, Region) {
+        let mut off = 0u64;
+        let mut logs = Vec::new();
+        for _ in 0..config.max_threads {
+            logs.push(Region::new(off, config.log_bytes_per_thread));
+            off += config.log_bytes_per_thread;
+        }
+        let heap = Region::new(off, config.heap_bytes);
+        assert!(
+            heap.end() <= nvm.size_bytes(),
+            "device too small for NVML layout"
+        );
+        (logs, heap)
+    }
+
+    fn build(nvm: Arc<Nvm>, config: BaselineConfig, logs: Vec<Region>, heap: Region) -> Self {
+        NvmlLike {
+            nvm,
+            heap,
+            logs,
+            stripes: (0..STRIPES).map(|_| Mutex::new(())).collect(),
+            next_slot: AtomicUsize::new(0),
+            config,
+        }
+    }
+
+    /// The underlying device.
+    pub fn nvm(&self) -> &Arc<Nvm> {
+        &self.nvm
+    }
+
+    /// The heap region.
+    pub fn heap_region(&self) -> Region {
+        self.heap
+    }
+
+    #[inline]
+    fn stripe_of(&self, addr: u64) -> usize {
+        (((addr >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (STRIPES - 1)
+    }
+}
+
+/// Per-thread handle for [`NvmlLike`].
+#[derive(Debug)]
+pub struct NvmlThread<'s> {
+    sys: &'s NvmlLike,
+    log: Region,
+}
+
+/// In-flight static transaction state.
+struct NvmlTxn<'s> {
+    sys: &'s NvmlLike,
+    log: Region,
+    /// Stripe indices held (2PL), with their guards kept alive.
+    held: Vec<(usize, parking_lot::MutexGuard<'s, ()>)>,
+    /// Declared ranges (addr, words) for write validation.
+    declared: Vec<(u64, u64)>,
+    /// Undo-log append cursor in words.
+    cursor: u64,
+    /// Data lines were written since the last fence.
+    dirty: bool,
+    active: bool,
+}
+
+impl<'s> NvmlTxn<'s> {
+    fn is_declared(&self, addr: u64) -> bool {
+        self.declared
+            .iter()
+            .any(|&(a, w)| addr >= a && addr + 8 <= a + w * 8)
+    }
+}
+
+impl Txn for NvmlTxn<'_> {
+    fn declare_write(&mut self, addr: PAddr, words: u64) -> TxResult<()> {
+        assert!(addr.is_word_aligned() && words > 0);
+        assert!(
+            addr.offset() + words * 8 <= self.sys.config.heap_bytes,
+            "declared range beyond heap"
+        );
+        // Acquire the stripes covering the range; try-lock + restart keeps
+        // the static-locking scheme deadlock-free.
+        let mut needed: Vec<usize> = (0..words)
+            .map(|i| self.sys.stripe_of(addr.offset() + i * 8))
+            .collect();
+        needed.sort_unstable();
+        needed.dedup();
+        for stripe in needed {
+            if self.held.iter().any(|&(s, _)| s == stripe) {
+                continue;
+            }
+            match self.sys.stripes[stripe].try_lock() {
+                Some(guard) => self.held.push((stripe, guard)),
+                None => return Err(TxAbort::Conflict), // restart the txn
+            }
+        }
+        // Undo-log the old values and persist them before any in-place
+        // update (the undo-ordering rule).
+        let cap = self.log.len() / 8;
+        assert!(
+            self.cursor + 3 + words <= cap,
+            "undo log overflow: transaction writes too much"
+        );
+        let base = self.log.start() + self.cursor * 8;
+        self.sys.nvm.write_word(base, addr.offset());
+        self.sys.nvm.write_word(base + 8, words);
+        self.sys
+            .nvm
+            .write_word(base + 16, undo_checksum(addr.offset(), words));
+        for i in 0..words {
+            let old = self
+                .sys
+                .nvm
+                .read_word(self.sys.heap.start() + addr.offset() + i * 8);
+            self.sys.nvm.write_word(base + 24 + i * 8, old);
+        }
+        self.sys.nvm.flush(base, (3 + words) * 8);
+        if !self.active {
+            // First range: activate the log with the same barrier.
+            self.sys.nvm.write_word(self.log.start(), 1);
+            self.sys.nvm.flush(self.log.start(), 8);
+            self.active = true;
+        }
+        self.sys.nvm.fence();
+        self.cursor += 3 + words;
+        self.declared.push((addr.offset(), words));
+        Ok(())
+    }
+
+    fn read_word(&mut self, addr: PAddr) -> TxResult<u64> {
+        assert!(addr.is_word_aligned() && addr.offset() + 8 <= self.sys.config.heap_bytes);
+        let off = self.sys.heap.start() + addr.offset();
+        if self.is_declared(addr.offset()) {
+            // Covered by our own 2PL locks.
+            return Ok(self.sys.nvm.read_word(off));
+        }
+        // Transient stripe lock: the "fine-grained locks" reads need for a
+        // consistent view (NVML itself offers no isolation).
+        let stripe = self.sys.stripe_of(addr.offset());
+        if self.held.iter().any(|&(s, _)| s == stripe) {
+            return Ok(self.sys.nvm.read_word(off));
+        }
+        match self.sys.stripes[stripe].try_lock() {
+            Some(_guard) => Ok(self.sys.nvm.read_word(off)),
+            None => Err(TxAbort::Conflict),
+        }
+    }
+
+    fn write_word(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+        assert!(
+            self.is_declared(addr.offset()),
+            "NVML-like system supports only static transactions: \
+             write to {addr} without declare_write"
+        );
+        let off = self.sys.heap.start() + addr.offset();
+        self.sys.nvm.write_word(off, val);
+        self.sys.nvm.flush(off, 8);
+        self.dirty = true;
+        Ok(())
+    }
+}
+
+impl NvmlTxn<'_> {
+    fn commit(mut self) {
+        if self.active {
+            if self.dirty {
+                self.sys.nvm.fence(); // order all in-place writes
+            }
+            // Invalidate the undo log.
+            self.sys.nvm.write_word(self.log.start(), 0);
+            self.sys.nvm.persist(self.log.start(), 8);
+        }
+        self.held.clear();
+    }
+
+    fn abort(mut self) {
+        if self.active {
+            // Roll back in place from the volatile copy of the undo data.
+            let mut off = LOG_HEADER_WORDS;
+            let mut records = Vec::new();
+            while off < self.cursor {
+                let addr = self.sys.nvm.read_word(self.log.start() + off * 8);
+                let words = self.sys.nvm.read_word(self.log.start() + (off + 1) * 8);
+                let mut olds = vec![0u64; words as usize];
+                self.sys
+                    .nvm
+                    .read_words(self.log.start() + (off + 3) * 8, &mut olds);
+                records.push((addr, olds));
+                off += 3 + words;
+            }
+            for (addr, olds) in records.into_iter().rev() {
+                for (i, old) in olds.into_iter().enumerate() {
+                    let o = self.sys.heap.start() + addr + 8 * i as u64;
+                    self.sys.nvm.write_word(o, old);
+                    self.sys.nvm.flush(o, 8);
+                }
+            }
+            self.sys.nvm.fence();
+            self.sys.nvm.write_word(self.log.start(), 0);
+            self.sys.nvm.persist(self.log.start(), 8);
+        }
+        self.held.clear();
+    }
+}
+
+impl TxnSystem for NvmlLike {
+    type Thread<'a>
+        = NvmlThread<'a>
+    where
+        Self: 'a;
+
+    fn register_thread(&self) -> NvmlThread<'_> {
+        let slot = self.next_slot.fetch_add(1, Ordering::Relaxed);
+        assert!(slot < self.config.max_threads, "too many threads");
+        NvmlThread {
+            sys: self,
+            log: self.logs[slot],
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "NVML"
+    }
+
+    fn heap_words(&self) -> u64 {
+        self.config.heap_bytes / 8
+    }
+}
+
+impl TxnThread for NvmlThread<'_> {
+    fn run<T>(&mut self, body: &mut dyn FnMut(&mut dyn Txn) -> TxResult<T>) -> TxnOutcome<T> {
+        let mut retries = 0u32;
+        loop {
+            let mut txn = NvmlTxn {
+                sys: self.sys,
+                log: self.log,
+                held: Vec::new(),
+                declared: Vec::new(),
+                cursor: LOG_HEADER_WORDS,
+                dirty: false,
+                active: false,
+            };
+            match body(&mut txn) {
+                Ok(value) => {
+                    txn.commit();
+                    return TxnOutcome::Committed {
+                        value,
+                        info: dude_txapi::CommitInfo { tid: None, retries },
+                    };
+                }
+                Err(TxAbort::User) => {
+                    txn.abort();
+                    return TxnOutcome::Aborted;
+                }
+                Err(TxAbort::Conflict) => {
+                    txn.abort();
+                    retries += 1;
+                    if retries > 4 {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dude_nvm::NvmConfig;
+
+    fn setup(heap_bytes: u64) -> (Arc<Nvm>, BaselineConfig) {
+        let config = BaselineConfig {
+            heap_bytes,
+            max_threads: 4,
+            log_bytes_per_thread: 8192,
+        };
+        let bytes = heap_bytes + 4 * 8192;
+        (Arc::new(Nvm::new(NvmConfig::for_testing(bytes))), config)
+    }
+
+    #[test]
+    fn declared_write_commits_durably() {
+        let (nvm, config) = setup(1 << 16);
+        let sys = NvmlLike::create(Arc::clone(&nvm), config);
+        {
+            let mut t = sys.register_thread();
+            t.run(&mut |tx| {
+                tx.declare_write(PAddr::new(0), 2)?;
+                tx.write_word(PAddr::new(0), 7)?;
+                tx.write_word(PAddr::new(8), 8)
+            })
+            .expect_committed();
+        }
+        nvm.crash();
+        let sys2 = NvmlLike::recover(Arc::clone(&nvm), config);
+        assert_eq!(nvm.read_word(sys2.heap_region().start()), 7);
+        assert_eq!(nvm.read_word(sys2.heap_region().start() + 8), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "static transactions")]
+    fn undeclared_write_panics() {
+        let (nvm, config) = setup(1 << 16);
+        let sys = NvmlLike::create(nvm, config);
+        let mut t = sys.register_thread();
+        let _ = t.run(&mut |tx| tx.write_word(PAddr::new(0), 1));
+    }
+
+    #[test]
+    fn crash_mid_transaction_rolls_back() {
+        let (nvm, config) = setup(1 << 16);
+        let heap_start;
+        {
+            let sys = NvmlLike::create(Arc::clone(&nvm), config);
+            heap_start = sys.heap_region().start();
+            // Seed committed state.
+            let mut t = sys.register_thread();
+            t.run(&mut |tx| {
+                tx.declare_write(PAddr::new(0), 2)?;
+                tx.write_word(PAddr::new(0), 10)?;
+                tx.write_word(PAddr::new(8), 20)
+            })
+            .expect_committed();
+            // Start a transaction that writes one of two declared words,
+            // then "crash" before commit by persisting in-place data but
+            // never invalidating the log.
+            let txn_partial = |tx: &mut dyn Txn| -> TxResult<()> {
+                tx.declare_write(PAddr::new(0), 2)?;
+                tx.write_word(PAddr::new(0), 999)?;
+                // Make the torn write durable so the crash leaves it.
+                Ok(())
+            };
+            // Run the partial body manually so commit never executes: we
+            // emulate by crashing inside via panic-free path — simplest is
+            // to do the steps directly on a txn value we leak.
+            let mut raw = NvmlTxn {
+                sys: &sys,
+                log: sys.logs[1],
+                held: Vec::new(),
+                declared: Vec::new(),
+                cursor: LOG_HEADER_WORDS,
+                dirty: false,
+                active: false,
+            };
+            txn_partial(&mut raw).unwrap();
+            // Force the torn in-place write to be durable (worst case).
+            nvm.fence();
+            std::mem::forget(raw.held.drain(..).collect::<Vec<_>>());
+            std::mem::forget(raw);
+            let _ = t;
+        }
+        nvm.crash();
+        let _sys2 = NvmlLike::recover(Arc::clone(&nvm), config);
+        // Rolled back to the committed values.
+        assert_eq!(nvm.read_word(heap_start), 10);
+        assert_eq!(nvm.read_word(heap_start + 8), 20);
+    }
+
+    #[test]
+    fn user_abort_rolls_back_in_place() {
+        let (nvm, config) = setup(1 << 16);
+        let sys = NvmlLike::create(Arc::clone(&nvm), config);
+        let mut t = sys.register_thread();
+        t.run(&mut |tx| {
+            tx.declare_write(PAddr::new(0), 1)?;
+            tx.write_word(PAddr::new(0), 5)
+        })
+        .expect_committed();
+        let out = t.run(&mut |tx| {
+            tx.declare_write(PAddr::new(0), 1)?;
+            tx.write_word(PAddr::new(0), 6)?;
+            Err::<(), _>(TxAbort::User)
+        });
+        assert!(!out.is_committed());
+        assert_eq!(nvm.read_word(sys.heap_region().start()), 5);
+    }
+
+    #[test]
+    fn concurrent_declared_increments_exact() {
+        let (nvm, config) = setup(1 << 16);
+        let sys = Arc::new(NvmlLike::create(Arc::clone(&nvm), config));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let sys = Arc::clone(&sys);
+                s.spawn(move || {
+                    let mut t = sys.register_thread();
+                    for _ in 0..200 {
+                        t.run(&mut |tx| {
+                            tx.declare_write(PAddr::new(0), 1)?;
+                            let v = tx.read_word(PAddr::new(0))?;
+                            tx.write_word(PAddr::new(0), v + 1)
+                        })
+                        .expect_committed();
+                    }
+                });
+            }
+        });
+        assert_eq!(nvm.read_word(sys.heap_region().start()), 800);
+    }
+
+    #[test]
+    fn reads_take_transient_locks() {
+        let (nvm, config) = setup(1 << 16);
+        let sys = NvmlLike::create(nvm, config);
+        let mut t = sys.register_thread();
+        let v = t
+            .run(&mut |tx| tx.read_word(PAddr::new(64)))
+            .expect_committed();
+        assert_eq!(v, 0);
+    }
+}

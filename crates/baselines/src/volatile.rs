@@ -1,0 +1,231 @@
+//! Volatile TM upper bounds (no durability): "Volatile-STM" and
+//! "Volatile-HTM" in Figure 2 and Table 4.
+
+use dude_htm::{Htm, HtmConfig};
+use dude_stm::{NoHooks, Stm, StmConfig, VecMemory};
+use dude_txapi::{PAddr, TxResult, Txn, TxnOutcome, TxnSystem, TxnThread};
+
+/// Word-aligned, bounds-checked `Txn` adapter over a `TmAccess`.
+struct AccessTxn<'x> {
+    inner: &'x mut dyn dude_stm::TmAccess,
+    heap_bytes: u64,
+}
+
+impl AccessTxn<'_> {
+    #[inline]
+    fn check(&self, addr: PAddr) {
+        assert!(addr.is_word_aligned(), "unaligned access: {addr}");
+        assert!(
+            addr.offset() + 8 <= self.heap_bytes,
+            "address {addr} beyond heap of {} bytes",
+            self.heap_bytes
+        );
+    }
+}
+
+impl Txn for AccessTxn<'_> {
+    fn read_word(&mut self, addr: PAddr) -> TxResult<u64> {
+        self.check(addr);
+        self.inner.tm_read(addr.offset())
+    }
+
+    fn write_word(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+        self.check(addr);
+        self.inner.tm_write(addr.offset(), val)
+    }
+}
+
+/// The plain TinySTM-on-DRAM system: DudeTM's theoretical upper bound.
+#[derive(Debug)]
+pub struct VolatileStm {
+    stm: Stm,
+    mem: VecMemory,
+}
+
+impl VolatileStm {
+    /// Creates a volatile STM system with a zeroed heap of `heap_bytes`.
+    pub fn new(heap_bytes: u64) -> Self {
+        VolatileStm {
+            stm: Stm::new(StmConfig::default()),
+            mem: VecMemory::new(heap_bytes),
+        }
+    }
+
+    /// The underlying STM (for statistics).
+    pub fn stm(&self) -> &Stm {
+        &self.stm
+    }
+}
+
+/// Per-thread handle for [`VolatileStm`].
+#[derive(Debug)]
+pub struct VolatileStmThread<'s> {
+    thread: dude_stm::StmThread<'s>,
+    mem: &'s VecMemory,
+    heap_bytes: u64,
+}
+
+impl TxnSystem for VolatileStm {
+    type Thread<'a>
+        = VolatileStmThread<'a>
+    where
+        Self: 'a;
+
+    fn register_thread(&self) -> VolatileStmThread<'_> {
+        VolatileStmThread {
+            thread: self.stm.register(),
+            mem: &self.mem,
+            heap_bytes: self.mem.size_bytes(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Volatile-STM"
+    }
+
+    fn heap_words(&self) -> u64 {
+        self.mem.size_bytes() / 8
+    }
+}
+
+impl TxnThread for VolatileStmThread<'_> {
+    fn run<T>(&mut self, body: &mut dyn FnMut(&mut dyn Txn) -> TxResult<T>) -> TxnOutcome<T> {
+        let heap_bytes = self.heap_bytes;
+        let mut slot = None;
+        let out = self.thread.run(self.mem, &mut NoHooks, |tx| {
+            let mut t = AccessTxn {
+                inner: tx,
+                heap_bytes,
+            };
+            slot = Some(body(&mut t)?);
+            Ok(())
+        });
+        match out {
+            TxnOutcome::Committed { info, .. } => TxnOutcome::Committed {
+                value: slot.take().expect("committed body produced a value"),
+                info,
+            },
+            TxnOutcome::Aborted => TxnOutcome::Aborted,
+        }
+    }
+}
+
+/// The emulated-HTM-on-DRAM system ("Volatile-HTM", Table 4).
+#[derive(Debug)]
+pub struct VolatileHtm {
+    htm: Htm,
+    mem: VecMemory,
+}
+
+impl VolatileHtm {
+    /// Creates a volatile HTM system with a zeroed heap of `heap_bytes`.
+    pub fn new(heap_bytes: u64) -> Self {
+        VolatileHtm {
+            htm: Htm::new(HtmConfig::default()),
+            mem: VecMemory::new(heap_bytes),
+        }
+    }
+
+    /// The underlying HTM (for statistics).
+    pub fn htm(&self) -> &Htm {
+        &self.htm
+    }
+}
+
+/// Per-thread handle for [`VolatileHtm`].
+#[derive(Debug)]
+pub struct VolatileHtmThread<'s> {
+    thread: dude_htm::HtmThread<'s>,
+    mem: &'s VecMemory,
+    heap_bytes: u64,
+}
+
+impl TxnSystem for VolatileHtm {
+    type Thread<'a>
+        = VolatileHtmThread<'a>
+    where
+        Self: 'a;
+
+    fn register_thread(&self) -> VolatileHtmThread<'_> {
+        VolatileHtmThread {
+            thread: self.htm.register(),
+            mem: &self.mem,
+            heap_bytes: self.mem.size_bytes(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Volatile-HTM"
+    }
+
+    fn heap_words(&self) -> u64 {
+        self.mem.size_bytes() / 8
+    }
+}
+
+impl TxnThread for VolatileHtmThread<'_> {
+    fn run<T>(&mut self, body: &mut dyn FnMut(&mut dyn Txn) -> TxResult<T>) -> TxnOutcome<T> {
+        let heap_bytes = self.heap_bytes;
+        let mut slot = None;
+        let out = self.thread.run(self.mem, &mut NoHooks, |tx| {
+            let mut t = AccessTxn {
+                inner: tx,
+                heap_bytes,
+            };
+            slot = Some(body(&mut t)?);
+            Ok(())
+        });
+        match out {
+            TxnOutcome::Committed { info, .. } => TxnOutcome::Committed {
+                value: slot.take().expect("committed body produced a value"),
+                info,
+            },
+            TxnOutcome::Aborted => TxnOutcome::Aborted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn increment_loop<S: TxnSystem>(sys: &S, n: u64) {
+        let mut t = sys.register_thread();
+        for _ in 0..n {
+            t.run(&mut |tx| {
+                let v = tx.read_word(PAddr::new(0))?;
+                tx.write_word(PAddr::new(0), v + 1)
+            })
+            .expect_committed();
+        }
+        let v = t
+            .run(&mut |tx| tx.read_word(PAddr::new(0)))
+            .expect_committed();
+        assert_eq!(v, n);
+    }
+
+    #[test]
+    fn volatile_stm_counts() {
+        let sys = VolatileStm::new(4096);
+        increment_loop(&sys, 100);
+        assert_eq!(sys.name(), "Volatile-STM");
+        assert_eq!(sys.heap_words(), 512);
+    }
+
+    #[test]
+    fn volatile_htm_counts() {
+        let sys = VolatileHtm::new(4096);
+        increment_loop(&sys, 100);
+        assert_eq!(sys.name(), "Volatile-HTM");
+    }
+
+    #[test]
+    fn wait_durable_is_noop() {
+        let sys = VolatileStm::new(4096);
+        let mut t = sys.register_thread();
+        let out = t.run(&mut |tx| tx.write_word(PAddr::new(8), 1));
+        let tid = out.info().unwrap().tid.unwrap();
+        t.wait_durable(tid); // returns immediately
+        assert_eq!(t.durable_watermark(), u64::MAX);
+    }
+}

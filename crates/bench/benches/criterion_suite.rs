@@ -1,0 +1,173 @@
+//! Criterion micro-benchmarks over the paper's code paths.
+//!
+//! These are *not* the paper-figure generators (see `src/bin/`); they are
+//! statistically rigorous per-transaction measurements that `cargo bench`
+//! can run quickly:
+//!
+//! * one insert transaction on each system (the Figure 2 / Table 2 cost
+//!   structure at per-transaction granularity);
+//! * the log-combination + compression path (Figure 3's inner loop);
+//! * the STM vs HTM engines on the same workload (Table 4).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dude_baselines::{BaselineConfig, Mnemosyne, NvmlLike, VolatileStm};
+use dude_nvm::{Nvm, NvmConfig, TimingConfig};
+use dude_txapi::{PAddr, TxnSystem, TxnThread};
+use dude_workloads::hashtable::HashTable;
+use dude_workloads::rng::Rng;
+use dudetm::{DudeTm, DudeTmConfig, DurabilityMode};
+
+const HEAP: u64 = 16 << 20;
+const DEVICE: u64 = 64 << 20;
+
+fn timing() -> TimingConfig {
+    TimingConfig::paper_default() // 1 GB/s, 1000 cycles
+}
+
+fn bench_insert_per_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_insert_txn");
+    let table = HashTable::new(PAddr::new(64), 1 << 16);
+    let key_space = 40_000u64;
+
+    {
+        let sys = VolatileStm::new(HEAP);
+        let mut t = sys.register_thread();
+        let mut rng = Rng::new(1);
+        group.bench_function("volatile_stm", |b| {
+            b.iter(|| {
+                let k = rng.below(key_space);
+                t.run(&mut |tx| table.insert(tx, k, k)).expect_committed()
+            })
+        });
+    }
+    {
+        let nvm = Arc::new(Nvm::new(NvmConfig::for_benchmark(DEVICE, timing())));
+        let sys = DudeTm::create_stm(
+            nvm,
+            DudeTmConfig {
+                max_threads: 4,
+                ..DudeTmConfig::small(HEAP)
+            },
+        );
+        let mut t = sys.register_thread();
+        let mut rng = Rng::new(1);
+        group.bench_function("dudetm_async", |b| {
+            b.iter(|| {
+                let k = rng.below(key_space);
+                t.run(&mut |tx| table.insert(tx, k, k)).expect_committed()
+            })
+        });
+        drop(t);
+        sys.quiesce();
+    }
+    {
+        let nvm = Arc::new(Nvm::new(NvmConfig::for_benchmark(DEVICE, timing())));
+        let sys = DudeTm::create_stm(
+            nvm,
+            DudeTmConfig {
+                max_threads: 4,
+                ..DudeTmConfig::small(HEAP)
+            }
+            .with_durability(DurabilityMode::Sync),
+        );
+        let mut t = sys.register_thread();
+        let mut rng = Rng::new(1);
+        group.bench_function("dudetm_sync", |b| {
+            b.iter(|| {
+                let k = rng.below(key_space);
+                t.run(&mut |tx| table.insert(tx, k, k)).expect_committed()
+            })
+        });
+        drop(t);
+        sys.quiesce();
+    }
+    {
+        let nvm = Arc::new(Nvm::new(NvmConfig::for_benchmark(DEVICE, timing())));
+        let sys = Mnemosyne::create(nvm, BaselineConfig::small(HEAP));
+        let mut t = sys.register_thread();
+        let mut rng = Rng::new(1);
+        group.bench_function("mnemosyne", |b| {
+            b.iter(|| {
+                let k = rng.below(key_space);
+                t.run(&mut |tx| table.insert(tx, k, k)).expect_committed()
+            })
+        });
+    }
+    {
+        let nvm = Arc::new(Nvm::new(NvmConfig::for_benchmark(DEVICE, timing())));
+        let sys = NvmlLike::create(nvm, BaselineConfig::small(HEAP));
+        let mut t = sys.register_thread();
+        let mut rng = Rng::new(1);
+        group.bench_function("nvml", |b| {
+            b.iter(|| {
+                let k = rng.below(key_space);
+                t.run(&mut |tx| table.insert(tx, k, k)).expect_committed()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_counter_txn");
+    {
+        let sys = VolatileStm::new(HEAP);
+        let mut t = sys.register_thread();
+        group.bench_function("stm", |b| {
+            b.iter(|| {
+                t.run(&mut |tx| {
+                    let v = tx.read_word(PAddr::new(64))?;
+                    tx.write_word(PAddr::new(64), v + 1)
+                })
+                .expect_committed()
+            })
+        });
+    }
+    {
+        let sys = dude_baselines::VolatileHtm::new(HEAP);
+        let mut t = sys.register_thread();
+        group.bench_function("htm", |b| {
+            b.iter(|| {
+                t.run(&mut |tx| {
+                    let v = tx.read_word(PAddr::new(64))?;
+                    tx.write_word(PAddr::new(64), v + 1)
+                })
+                .expect_committed()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_log_compression(c: &mut Criterion) {
+    // A combined group of zipfian writes, as the Persist step sees it.
+    let zipf = dude_workloads::rng::Zipf::new(10_000, 0.99);
+    let mut rng = Rng::new(3);
+    let payload: Vec<u8> = (0..4096)
+        .flat_map(|_| {
+            let addr = zipf.sample(&mut rng) * 8;
+            let val = rng.below(1000);
+            let mut bytes = addr.to_le_bytes().to_vec();
+            bytes.extend_from_slice(&val.to_le_bytes());
+            bytes
+        })
+        .collect();
+    let mut group = c.benchmark_group("log_compression");
+    group.bench_function("compress_64k_group", |b| {
+        b.iter(|| dude_compress::compress(&payload))
+    });
+    let packed = dude_compress::compress(&payload);
+    group.bench_function("decompress_64k_group", |b| {
+        b.iter(|| dude_compress::decompress(&packed).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_insert_per_system, bench_engines, bench_log_compression
+}
+criterion_main!(benches);

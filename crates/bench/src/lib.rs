@@ -1,0 +1,35 @@
+//! Benchmark harness regenerating every table and figure of the DudeTM
+//! paper's evaluation (§5).
+//!
+//! One binary per experiment lives in `src/bin/`:
+//!
+//! | Binary | Paper content |
+//! |---|---|
+//! | `fig2_throughput` | Figure 2 — throughput vs NVM bandwidth, 4 systems × 6 benchmarks |
+//! | `table1_writes` | Table 1 — NVM write statistics per benchmark |
+//! | `table2_systems` | Table 2 — DudeTM vs DudeTM-Sync vs Mnemosyne vs NVML |
+//! | `table3_latency` | Table 3 — durable-latency percentiles, hash-based TPC-C |
+//! | `fig3_logopt` | Figure 3 — log combination & compression savings vs group size |
+//! | `fig4_swap` | Figure 4 — paging overhead vs shadow size, software vs hardware |
+//! | `fig5_scalability` | Figure 5 — thread scaling, TPC-C (B+-tree), plus low-conflict variant |
+//! | `table4_htm` | Table 4 — STM- vs HTM-based DudeTM |
+//!
+//! Each binary accepts `--quick` for a fast smoke run and prints markdown
+//! tables (also written as CSV under `bench_results/`). Scale-downs
+//! relative to the paper (single-CPU container, smaller heaps) are
+//! documented in `EXPERIMENTS.md`.
+
+pub mod env;
+pub mod report;
+pub mod systems;
+pub mod workloads;
+
+pub use env::BenchEnv;
+pub use report::Table;
+pub use systems::{run_combo, run_combo_median, SystemKind};
+pub use workloads::WorkloadKind;
+
+/// Returns `true` if `--quick` was passed on the command line.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

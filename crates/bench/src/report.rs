@@ -1,0 +1,135 @@
+//! Table formatting: markdown to stdout, CSV to `bench_results/`.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (printed as a heading, used as the CSV file stem).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the header count.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(row);
+    }
+
+    /// Prints the table as github-flavored markdown.
+    pub fn print(&self) {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        println!("\n### {}\n", self.title);
+        let fmt_row = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        println!("{}", fmt_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("{}", fmt_row(&sep));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+        let _ = (0..ncols).count();
+    }
+
+    /// Writes the table as CSV under `dir` (created if missing), named
+    /// from the title.
+    pub fn save_csv(&self, dir: &str) {
+        let stem: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = Path::new(dir).join(format!("{}.csv", stem.to_lowercase()));
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let Ok(mut f) = std::fs::File::create(&path) else {
+            return;
+        };
+        let _ = writeln!(f, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(f, "{}", row.join(","));
+        }
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// Formats a throughput in the paper's units (`M TPS` / `K TPS`).
+pub fn fmt_tps(tps: f64) -> String {
+    if tps >= 1e6 {
+        format!("{:.2} MTPS", tps / 1e6)
+    } else if tps >= 1e3 {
+        format!("{:.1} KTPS", tps / 1e3)
+    } else {
+        format!("{tps:.0} TPS")
+    }
+}
+
+/// Formats nanoseconds as microseconds, the unit of Table 3.
+pub fn fmt_us(ns: u64) -> String {
+    format!("{:.0} us", ns as f64 / 1000.0)
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_and_print() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows.len(), 1);
+        t.print(); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_tps(1_830_000.0), "1.83 MTPS");
+        assert_eq!(fmt_tps(93_500.0), "93.5 KTPS");
+        assert_eq!(fmt_tps(42.0), "42 TPS");
+        assert_eq!(fmt_us(45_000), "45 us");
+        assert_eq!(fmt_pct(0.245), "24.5%");
+    }
+}

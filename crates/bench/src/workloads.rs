@@ -1,0 +1,201 @@
+//! The six paper benchmarks (§5.1) sized for this container, plus the
+//! YCSB variants used by Figures 3 and 4.
+
+use dude_txapi::{PAddr, TxnSystem};
+use dude_workloads::bank::Bank;
+use dude_workloads::driver::{load_workload, run_fixed_ops, RunConfig, RunStats, Workload};
+use dude_workloads::hashtable::HashTable;
+use dude_workloads::kv::{BTreeKv, HashKv};
+use dude_workloads::micro::{BTreeInsertBench, HashInsertBench};
+use dude_workloads::tatp::Tatp;
+use dude_workloads::tpcc::{Tpcc, TpccParams};
+use dude_workloads::ycsb::SessionStore;
+
+use crate::env::BenchEnv;
+
+/// Which paper benchmark a cell runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// Random inserts into a fixed-size hash table.
+    HashTable,
+    /// Random inserts into a B+-tree.
+    BTree,
+    /// TPC-C New-Order with a B+-tree index.
+    TpccBTree,
+    /// TPC-C New-Order with a hash index.
+    TpccHash,
+    /// TPC-C New-Order, B+-tree index, per-district partitioning
+    /// (Figure 5's low-conflict variant).
+    TpccBTreePartitioned,
+    /// TATP Update-Location with a B+-tree index.
+    TatpBTree,
+    /// TATP Update-Location with a hash index.
+    TatpHash,
+    /// YCSB session store (50/50 read/update) over a B+-tree, given
+    /// Zipfian constant.
+    Ycsb {
+        /// Zipfian skew (paper: 0.99).
+        theta: f64,
+    },
+    /// Update-only YCSB over a B+-tree (Figure 4's swap workload).
+    YcsbUpdate {
+        /// Zipfian skew (paper: 0.99 and 1.07).
+        theta: f64,
+    },
+    /// Random transfers between accounts.
+    Bank,
+}
+
+impl WorkloadKind {
+    /// Display label matching the paper's tables.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadKind::HashTable => "HashTable".into(),
+            WorkloadKind::BTree => "B+-tree".into(),
+            WorkloadKind::TpccBTree => "TPC-C (B+-tree)".into(),
+            WorkloadKind::TpccHash => "TPC-C (hash)".into(),
+            WorkloadKind::TpccBTreePartitioned => "TPC-C (B+-tree, partitioned)".into(),
+            WorkloadKind::TatpBTree => "TATP (B+-tree)".into(),
+            WorkloadKind::TatpHash => "TATP (hash)".into(),
+            WorkloadKind::Ycsb { theta } => format!("YCSB (B+-tree, zipf {theta})"),
+            WorkloadKind::YcsbUpdate { theta } => format!("YCSB-update (zipf {theta})"),
+            WorkloadKind::Bank => "Bank".into(),
+        }
+    }
+
+    /// `true` if the workload only needs `declare_write`-compatible
+    /// structures and therefore runs on the NVML-like baseline (the paper
+    /// runs NVML on hash-based benchmarks only).
+    pub fn nvml_compatible(&self) -> bool {
+        matches!(
+            self,
+            WorkloadKind::HashTable
+                | WorkloadKind::TpccHash
+                | WorkloadKind::TatpHash
+                | WorkloadKind::Bank
+        )
+    }
+}
+
+/// The base address where workload data starts (word 0 is reserved).
+const BASE: u64 = 64;
+
+/// Builds the workload for a cell, sized against the environment's heap.
+pub fn build_workload(kind: WorkloadKind, env: &BenchEnv) -> Box<dyn Workload> {
+    let heap_words = env.heap_bytes / 8;
+    match kind {
+        WorkloadKind::HashTable => {
+            // ~16 MiB of buckets, 60 % max occupancy.
+            let buckets = (heap_words / 4).min(1 << 20);
+            Box::new(HashInsertBench::new(
+                HashTable::new(PAddr::new(BASE), buckets),
+                buckets * 6 / 10,
+            ))
+        }
+        WorkloadKind::BTree => {
+            let nodes = (heap_words / 36).min(1 << 18);
+            Box::new(BTreeInsertBench::new(
+                dude_workloads::btree::BTree::new(PAddr::new(BASE), nodes),
+                nodes * 3,
+            ))
+        }
+        WorkloadKind::TpccBTree | WorkloadKind::TpccHash | WorkloadKind::TpccBTreePartitioned => {
+            let params = TpccParams {
+                districts: 10,
+                customers_per_district: 512,
+                items: 10_000,
+                max_orders: env.ops + 64 * env.threads as u64,
+                partition_by_worker: matches!(kind, WorkloadKind::TpccBTreePartitioned),
+                payment_pct: 0,
+            };
+            // Index first, tables after.
+            let index_words = heap_words / 3;
+            let tables = PAddr::from_word_index(BASE / 8 + index_words);
+            let needed = Tpcc::<BTreeKv>::words_needed(&params);
+            assert!(
+                BASE / 8 + index_words + needed <= heap_words,
+                "heap too small for TPC-C: need {needed} table words"
+            );
+            if matches!(kind, WorkloadKind::TpccHash) {
+                let kv = HashKv::new(PAddr::new(BASE), index_words / 2 - 8);
+                Box::new(Tpcc::new(kv, tables, params, &kind.label()))
+            } else {
+                let kv = BTreeKv::new(PAddr::new(BASE), index_words / 18 - 8);
+                Box::new(Tpcc::new(kv, tables, params, &kind.label()))
+            }
+        }
+        WorkloadKind::TatpBTree | WorkloadKind::TatpHash => {
+            let subscribers: u64 = 100_000;
+            let index_words = heap_words / 2;
+            let records = PAddr::from_word_index(BASE / 8 + index_words);
+            assert!(
+                BASE / 8 + index_words + Tatp::<HashKv>::record_words(subscribers) <= heap_words
+            );
+            if matches!(kind, WorkloadKind::TatpHash) {
+                let kv = HashKv::new(PAddr::new(BASE), (subscribers * 2).max(1024));
+                Box::new(Tatp::new(kv, records, subscribers, &kind.label()))
+            } else {
+                let kv = BTreeKv::new(PAddr::new(BASE), (subscribers / 3).max(1024));
+                Box::new(Tatp::new(kv, records, subscribers, &kind.label()))
+            }
+        }
+        WorkloadKind::Ycsb { theta } => {
+            let records = 10_000; // paper: 10 K records
+            let kv = BTreeKv::new(PAddr::new(BASE), (heap_words / 36).min(1 << 17));
+            Box::new(SessionStore::new(kv, records, theta, 50, &kind.label()))
+        }
+        WorkloadKind::YcsbUpdate { theta } => {
+            // Figure 4 needs a working set much larger than the shadow:
+            // many records spread over many pages.
+            let records = (heap_words / 80).clamp(10_000, 400_000);
+            let kv = BTreeKv::new(PAddr::new(BASE), records / 2);
+            Box::new(SessionStore::new(kv, records, theta, 100, &kind.label()))
+        }
+        WorkloadKind::Bank => Box::new(Bank::new(PAddr::new(BASE), 1024, 1000)),
+    }
+}
+
+/// Runs one `(system, workload)` cell: build, load, call `after_load`
+/// (systems snapshot their counters there so load traffic is excluded),
+/// then measure.
+pub fn run_on_with<S: TxnSystem>(
+    sys: &S,
+    kind: WorkloadKind,
+    env: &BenchEnv,
+    after_load: impl FnOnce(),
+) -> RunStats {
+    let cfg = RunConfig {
+        threads: env.threads,
+        seed: env.seed,
+        latency: env.latency_mode,
+    };
+    let w = build_workload(kind, env);
+    load_workload(sys, w.as_ref());
+    after_load();
+    run_fixed_ops(sys, w.as_ref(), cfg, env.ops_per_thread())
+}
+
+/// [`run_on_with`] without a post-load hook.
+pub fn run_on<S: TxnSystem>(sys: &S, kind: WorkloadKind, env: &BenchEnv) -> RunStats {
+    run_on_with(sys, kind, env, || {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(WorkloadKind::TpccBTree.label(), "TPC-C (B+-tree)");
+        assert_eq!(WorkloadKind::TatpHash.label(), "TATP (hash)");
+        assert!(WorkloadKind::Ycsb { theta: 0.99 }.label().contains("0.99"));
+    }
+
+    #[test]
+    fn nvml_compat_is_hash_only() {
+        assert!(WorkloadKind::HashTable.nvml_compatible());
+        assert!(WorkloadKind::TpccHash.nvml_compatible());
+        assert!(!WorkloadKind::BTree.nvml_compatible());
+        assert!(!WorkloadKind::TpccBTree.nvml_compatible());
+    }
+}

@@ -1,0 +1,153 @@
+//! Runtime configuration.
+
+use crate::shadow::ShadowConfig;
+
+/// How a committed transaction reaches durability (the evaluated system
+/// variants of §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// The standard decoupled pipeline: redo logs flow through a bounded
+    /// per-thread buffer to background Persist threads; Perform blocks only
+    /// when the buffer fills ("DudeTM").
+    Async {
+        /// Volatile log-buffer capacity, in committed transactions per
+        /// thread (the paper uses one million log *entries*).
+        buffer_txns: usize,
+    },
+    /// As `Async` but with an unbounded buffer, so Perform never blocks
+    /// ("DudeTM-Inf").
+    AsyncUnbounded,
+    /// Perform flushes its own redo log and waits for durability before
+    /// returning ("DudeTM-Sync": the first two steps merged).
+    Sync,
+}
+
+/// Configuration of a [`crate::DudeTm`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DudeTmConfig {
+    /// Persistent heap size in bytes (multiple of the 4 KiB page size).
+    pub heap_bytes: u64,
+    /// Persistent redo-log ring size per Perform thread, in bytes.
+    pub plog_bytes_per_thread: u64,
+    /// Maximum number of Perform threads (log regions are preallocated).
+    pub max_threads: usize,
+    /// Durability variant.
+    pub durability: DurabilityMode,
+    /// Number of dedicated Persist threads (asynchronous modes). The paper
+    /// finds one is typically enough (§3.3).
+    pub persist_threads: usize,
+    /// Cross-transaction log combination: group this many *consecutive*
+    /// transactions and coalesce writes to the same address before flushing
+    /// (§3.3). `1` disables grouping.
+    pub persist_group: usize,
+    /// Compress grouped logs with the LZ77 codec before flushing (§3.3).
+    /// Only applies when `persist_group > 1`.
+    pub compress_groups: bool,
+    /// Reproduce checkpoints (and recycles log space) every this many
+    /// replayed transactions.
+    pub checkpoint_every: u64,
+    /// Shadow-memory configuration.
+    pub shadow: ShadowConfig,
+}
+
+impl DudeTmConfig {
+    /// A small configuration for functional tests: identity shadow, modest
+    /// buffers, combination off.
+    pub fn small(heap_bytes: u64) -> Self {
+        DudeTmConfig {
+            heap_bytes,
+            plog_bytes_per_thread: 1 << 20,
+            max_threads: 8,
+            durability: DurabilityMode::Async { buffer_txns: 1024 },
+            persist_threads: 1,
+            persist_group: 1,
+            compress_groups: false,
+            checkpoint_every: 16,
+            shadow: ShadowConfig::Identity,
+        }
+    }
+
+    /// Switches the durability mode.
+    #[must_use]
+    pub fn with_durability(mut self, mode: DurabilityMode) -> Self {
+        self.durability = mode;
+        self
+    }
+
+    /// Enables log combination with the given group size, optionally with
+    /// compression.
+    #[must_use]
+    pub fn with_grouping(mut self, group: usize, compress: bool) -> Self {
+        self.persist_group = group;
+        self.compress_groups = compress;
+        self
+    }
+
+    /// Switches the shadow configuration.
+    #[must_use]
+    pub fn with_shadow(mut self, shadow: ShadowConfig) -> Self {
+        self.shadow = shadow;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on invalid combinations.
+    pub fn validate(&self) {
+        assert!(self.heap_bytes > 0 && self.heap_bytes.is_multiple_of(4096));
+        assert!(self.plog_bytes_per_thread >= 4096);
+        assert!(self.max_threads >= 1 && self.max_threads <= 256);
+        assert!(self.persist_threads >= 1);
+        assert!(self.persist_group >= 1);
+        assert!(self.checkpoint_every >= 1);
+        if self.persist_group > 1 {
+            assert!(
+                !matches!(self.durability, DurabilityMode::Sync),
+                "log combination requires the asynchronous pipeline"
+            );
+        }
+        if let DurabilityMode::Async { buffer_txns } = self.durability {
+            assert!(buffer_txns >= 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_config_is_valid() {
+        DudeTmConfig::small(1 << 20).validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = DudeTmConfig::small(1 << 20)
+            .with_durability(DurabilityMode::AsyncUnbounded)
+            .with_grouping(100, true);
+        assert_eq!(c.durability, DurabilityMode::AsyncUnbounded);
+        assert_eq!(c.persist_group, 100);
+        assert!(c.compress_groups);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "asynchronous pipeline")]
+    fn grouping_with_sync_rejected() {
+        DudeTmConfig::small(1 << 20)
+            .with_durability(DurabilityMode::Sync)
+            .with_grouping(10, false)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn unaligned_heap_rejected() {
+        let mut c = DudeTmConfig::small(1 << 20);
+        c.heap_bytes = 1000;
+        c.validate();
+    }
+}

@@ -1,0 +1,122 @@
+//! The pluggable TM engine behind the Perform step.
+//!
+//! The paper's central software-architecture claim is that the TM is an
+//! *out-of-the-box, stand-alone component* (§1 contribution 3): DudeTM works
+//! with TinySTM unchanged and with HTM after one minor hardware tweak. The
+//! runtime encodes that claim in a trait: the Perform step only ever talks
+//! to [`TmEngine`] / [`EngineThread`], and both [`dude_stm::Stm`] and
+//! [`dude_htm::Htm`] implement them without modification to their crates.
+
+use dude_htm::Htm;
+use dude_stm::{Stm, TmAccess, TxHooks, WordMemory};
+use dude_txapi::{TxResult, TxnOutcome};
+
+/// A transactional-memory implementation usable by the Perform step.
+pub trait TmEngine: Send + Sync {
+    /// Registers the calling thread with the TM.
+    fn engine_thread(&self) -> Box<dyn EngineThread + '_>;
+
+    /// Current value of the TM's global commit clock (the ID of the most
+    /// recent update transaction).
+    fn clock_now(&self) -> u64;
+
+    /// Engine name for benchmark tables.
+    fn engine_name(&self) -> &'static str;
+}
+
+/// Per-thread transaction executor of a [`TmEngine`].
+pub trait EngineThread {
+    /// Runs `body` as one transaction over `mem`, reporting writes, commits
+    /// and aborts through `hooks`, retrying internally on conflicts.
+    fn run_txn(
+        &mut self,
+        mem: &dyn WordMemory,
+        hooks: &mut dyn TxHooks,
+        body: &mut dyn FnMut(&mut dyn TmAccess) -> TxResult<()>,
+    ) -> TxnOutcome<()>;
+}
+
+impl TmEngine for Stm {
+    fn engine_thread(&self) -> Box<dyn EngineThread + '_> {
+        Box::new(self.register())
+    }
+
+    fn clock_now(&self) -> u64 {
+        self.clock().now()
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "STM"
+    }
+}
+
+impl EngineThread for dude_stm::StmThread<'_> {
+    fn run_txn(
+        &mut self,
+        mem: &dyn WordMemory,
+        hooks: &mut dyn TxHooks,
+        body: &mut dyn FnMut(&mut dyn TmAccess) -> TxResult<()>,
+    ) -> TxnOutcome<()> {
+        let mut hooks = hooks;
+        self.run(mem, &mut hooks, |tx| body(tx))
+    }
+}
+
+impl TmEngine for Htm {
+    fn engine_thread(&self) -> Box<dyn EngineThread + '_> {
+        Box::new(self.register())
+    }
+
+    fn clock_now(&self) -> u64 {
+        self.clock().now()
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "HTM"
+    }
+}
+
+impl EngineThread for dude_htm::HtmThread<'_> {
+    fn run_txn(
+        &mut self,
+        mem: &dyn WordMemory,
+        hooks: &mut dyn TxHooks,
+        body: &mut dyn FnMut(&mut dyn TmAccess) -> TxResult<()>,
+    ) -> TxnOutcome<()> {
+        let mut hooks = hooks;
+        self.run(mem, &mut hooks, |tx| body(tx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dude_stm::{NoHooks, StmConfig, VecMemory};
+
+    fn exercise(engine: &dyn TmEngine) {
+        let mem = VecMemory::new(1024);
+        let mut th = engine.engine_thread();
+        let mut hooks = NoHooks;
+        let out = th.run_txn(&mem, &mut hooks, &mut |tx| {
+            let v = tx.tm_read(0)?;
+            tx.tm_write(0, v + 1)
+        });
+        assert!(out.is_committed());
+        assert_eq!(mem.load(0), 1);
+        assert_eq!(engine.clock_now(), 1);
+    }
+
+    #[test]
+    fn stm_engine_through_trait_object() {
+        let stm = Stm::new(StmConfig::tiny());
+        exercise(&stm);
+        assert_eq!(stm.engine_name(), "STM");
+    }
+
+    #[test]
+    fn htm_engine_through_trait_object() {
+        let htm = Htm::new(dude_htm::HtmConfig::default());
+        exercise(&htm);
+        assert_eq!(htm.engine_name(), "HTM");
+    }
+}

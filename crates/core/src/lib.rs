@@ -1,0 +1,125 @@
+//! DudeTM: durable transactions with decoupling for persistent memory.
+//!
+//! This crate is the core of a full reproduction of *"DudeTM: Building
+//! Durable Transactions with Decoupling for Persistent Memory"* (Liu et
+//! al., ASPLOS 2017). DudeTM resolves the undo-vs-redo-logging dilemma —
+//! per-write persist ordering versus read indirection — by decoupling every
+//! durable transaction into three fully asynchronous steps:
+//!
+//! 1. **Perform** — run the transaction with an out-of-the-box TM
+//!    ([`dude_stm::Stm`] or [`dude_htm::Htm`]) on a shared *shadow DRAM*
+//!    mirror of the persistent heap, producing a volatile redo log.
+//! 2. **Persist** — background threads flush redo logs to persistent log
+//!    rings with one barrier per transaction, advancing the global
+//!    *durable ID*.
+//! 3. **Reproduce** — a background thread replays durable logs, in global
+//!    transaction-ID order, onto the real persistent data, then recycles
+//!    log space.
+//!
+//! Dirty data never flows from shadow memory to NVM directly, so cache
+//! evictions cannot break crash consistency, no read is ever redirected,
+//! and no write needs its own fence.
+//!
+//! # Example
+//!
+//! ```
+//! use dude_nvm::{Nvm, NvmConfig};
+//! use dude_txapi::{PAddr, TxnSystem, TxnThread};
+//! use dudetm::{DudeTm, DudeTmConfig};
+//! use std::sync::Arc;
+//!
+//! let nvm = Arc::new(Nvm::new(NvmConfig::for_testing(16 << 20)));
+//! let config = DudeTmConfig::small(4 << 20);
+//! let dude = DudeTm::create_stm(Arc::clone(&nvm), config);
+//!
+//! let mut thread = dude.register_thread();
+//! let outcome = thread.run(&mut |tx| {
+//!     let v = tx.read_word(PAddr::new(64))?;
+//!     tx.write_word(PAddr::new(64), v + 1)?;
+//!     Ok(())
+//! });
+//! let tid = outcome.info().unwrap().tid.unwrap();
+//! thread.wait_durable(tid); // redo log is now in NVM
+//! drop(thread);
+//! dude.quiesce(); // Reproduce has applied it to the heap image
+//! # let _ = tid;
+//! ```
+
+mod config;
+mod engine;
+pub mod log;
+mod pipeline;
+mod plog;
+mod recovery;
+mod runtime;
+mod seqtrack;
+mod shadow;
+mod stats;
+
+pub use config::{DudeTmConfig, DurabilityMode};
+pub use engine::{EngineThread, TmEngine};
+pub use log::{LogRecord, ParsedRecord};
+pub use plog::{scan_region, PlogRing, PlogSpan};
+pub use recovery::{recover_device, RecoverError, RecoveryReport};
+pub use runtime::{dtm_abort, DtmThread, DtmTx, DudeTm, NvmLayout, RedoHooks};
+pub use seqtrack::SequenceTracker;
+pub use shadow::{PagingMode, ShadowConfig, ShadowMem, ShadowStats, ShadowView, PAGE_BYTES};
+pub use stats::{PipelineStats, PipelineStatsSnapshot};
+
+use std::sync::Arc;
+
+use dude_htm::{Htm, HtmConfig};
+use dude_nvm::Nvm;
+use dude_stm::{Stm, StmConfig};
+
+impl DudeTm<Stm> {
+    /// Formats `nvm` and starts a fresh STM-backed runtime (the paper's
+    /// default TinySTM-based configuration).
+    pub fn create_stm(nvm: Arc<Nvm>, config: DudeTmConfig) -> Self {
+        Self::create_stm_with(nvm, config, StmConfig::default())
+    }
+
+    /// As [`DudeTm::create_stm`] with an explicit STM configuration.
+    pub fn create_stm_with(nvm: Arc<Nvm>, config: DudeTmConfig, stm: StmConfig) -> Self {
+        DudeTm::create_with(nvm, config, Stm::new(stm))
+    }
+
+    /// Recovers an STM-backed runtime from a crashed device: replays the
+    /// durable logs, then resumes with transaction IDs continuing where the
+    /// recovered history ended.
+    ///
+    /// # Errors
+    ///
+    /// See [`RecoverError`].
+    pub fn recover_stm(
+        nvm: Arc<Nvm>,
+        config: DudeTmConfig,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        let (layout, report) = recover_device(&nvm, &config)?;
+        let engine = Stm::with_initial_clock(StmConfig::default(), report.last_tid);
+        let dude = DudeTm::start(nvm, config, engine, layout, report.last_tid);
+        Ok((dude, report))
+    }
+}
+
+impl DudeTm<Htm> {
+    /// Formats `nvm` and starts a fresh HTM-backed runtime (§4.2).
+    pub fn create_htm(nvm: Arc<Nvm>, config: DudeTmConfig) -> Self {
+        DudeTm::create_with(nvm, config, Htm::new(HtmConfig::default()))
+    }
+
+    /// Recovers an HTM-backed runtime from a crashed device.
+    ///
+    /// # Errors
+    ///
+    /// See [`RecoverError`].
+    pub fn recover_htm(
+        nvm: Arc<Nvm>,
+        config: DudeTmConfig,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        let (layout, report) = recover_device(&nvm, &config)?;
+        let engine = Htm::with_initial_clock(HtmConfig::default(), report.last_tid);
+        let dude = DudeTm::start(nvm, config, engine, layout, report.last_tid);
+        Ok((dude, report))
+    }
+}

@@ -1,0 +1,376 @@
+//! The Persist and Reproduce background stages (§3.3, §3.4).
+//!
+//! *Persist* drains per-thread volatile redo logs, writes them to the
+//! persistent log rings (one barrier per record or group), and marks
+//! transaction IDs in the durable-ID tracker. Logs may be flushed **out of
+//! commit order** — only Reproduce needs the global order (§3.3).
+//!
+//! *Reproduce* receives each persisted record's *volatile copy* through a
+//! channel (the paper's "keep the redo log in the volatile region"
+//! optimization — without a crash, nothing is ever read back from NVM),
+//! reorders it into dense transaction-ID order, applies the writes to the
+//! persistent heap, periodically checkpoints the reproduced ID, and only
+//! then recycles log space.
+//!
+//! With `persist_group > 1`, a single Persist thread merges all threads'
+//! records into global ID order and applies *cross-transaction log
+//! combination* (and optionally compression) to each group of consecutive
+//! transactions before flushing — the Figure 3 optimizations, which are
+//! only safe because grouping happens on globally consecutive IDs.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+use crate::log::{combine, serialize_abort, serialize_commit, serialize_group, LogRecord};
+use crate::plog::PlogSpan;
+use crate::runtime::Shared;
+
+/// A persisted unit handed from Persist to Reproduce.
+#[derive(Debug)]
+pub(crate) struct Batch {
+    pub first_tid: u64,
+    pub last_tid: u64,
+    /// Writes to replay (combined when grouping is on; empty for aborts).
+    pub writes: Vec<(u64, u64)>,
+    /// Log spans to recycle once the covering checkpoint is durable.
+    pub spans: Vec<(usize, PlogSpan)>,
+}
+
+impl PartialEq for Batch {
+    fn eq(&self, other: &Self) -> bool {
+        self.first_tid == other.first_tid
+    }
+}
+impl Eq for Batch {}
+impl PartialOrd for Batch {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Batch {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap becomes a min-heap on first_tid.
+        other.first_tid.cmp(&self.first_tid)
+    }
+}
+
+/// Writes one record to `ring_idx` without fencing; returns the batch to
+/// forward once the covering fence has been issued, or gives the record
+/// back when the ring has no space (the caller parks it and keeps serving
+/// the other rings — blocking here would deadlock the pipeline).
+fn try_stage_record(
+    shared: &Shared,
+    ring_idx: usize,
+    rec: LogRecord,
+    buf: &mut Vec<u64>,
+) -> Result<Batch, LogRecord> {
+    let tid = rec.tid();
+    match &rec {
+        LogRecord::Commit { writes, .. } => serialize_commit(tid, writes, buf),
+        LogRecord::Abort { .. } => serialize_abort(tid, buf),
+    }
+    let Some(span) = shared.rings[ring_idx].try_append_unfenced(buf) else {
+        return Err(rec);
+    };
+    let writes = match rec {
+        LogRecord::Commit { writes, .. } => writes,
+        LogRecord::Abort { .. } => Vec::new(),
+    };
+    shared.stats.records_persisted.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .entries_logged
+        .fetch_add(writes.len() as u64, Ordering::Relaxed);
+    Ok(Batch {
+        first_tid: tid,
+        last_tid: tid,
+        writes,
+        spans: vec![(ring_idx, span)],
+    })
+}
+
+/// The default Persist worker: drains a set of per-thread channels in any
+/// order and persists each record individually.
+pub(crate) fn persist_worker(
+    shared: Arc<Shared>,
+    inputs: Vec<(usize, Receiver<LogRecord>)>,
+    out: Sender<Batch>,
+) {
+    dude_nvm::set_background_stage(true);
+    let mut buf = Vec::new();
+    let mut done = vec![false; inputs.len()];
+    // Records whose ring was full — retried next sweep while the other
+    // channels keep flowing (never block on one ring: deadlock).
+    let mut parked: Vec<Option<LogRecord>> = (0..inputs.len()).map(|_| None).collect();
+    let mut staged: Vec<Batch> = Vec::new();
+    loop {
+        let mut progress = false;
+        for (i, (ring_idx, rx)) in inputs.iter().enumerate() {
+            if let Some(rec) = parked[i].take() {
+                match try_stage_record(&shared, *ring_idx, rec, &mut buf) {
+                    Ok(batch) => {
+                        progress = true;
+                        staged.push(batch);
+                    }
+                    Err(rec) => {
+                        parked[i] = Some(rec);
+                        continue; // ring still full: keep order, skip channel
+                    }
+                }
+            }
+            if done[i] {
+                continue;
+            }
+            // Bounded drain per sweep so one busy thread cannot starve the
+            // rest.
+            for _ in 0..64 {
+                match rx.try_recv() {
+                    Ok(rec) => match try_stage_record(&shared, *ring_idx, rec, &mut buf) {
+                        Ok(batch) => {
+                            progress = true;
+                            staged.push(batch);
+                        }
+                        Err(rec) => {
+                            parked[i] = Some(rec);
+                            break;
+                        }
+                    },
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        done[i] = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !staged.is_empty() {
+            // One ordering barrier covers the whole sweep (batched persist,
+            // §3.3); its modeled cost covers all flushed bytes.
+            shared.nvm.fence();
+            for batch in staged.drain(..) {
+                shared.tracker.mark(batch.first_tid);
+                // Reproduce may have exited during shutdown teardown; the
+                // records are persisted regardless.
+                let _ = out.send(batch);
+            }
+        }
+        if done.iter().all(|&d| d) && parked.iter().all(|p| p.is_none()) {
+            return;
+        }
+        if !progress {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+}
+
+/// The grouping Persist worker: merges all channels into global
+/// transaction-ID order and persists groups of `group` consecutive
+/// transactions with combination (and optional compression).
+pub(crate) fn persist_worker_grouped(
+    shared: Arc<Shared>,
+    inputs: Vec<(usize, Receiver<LogRecord>)>,
+    out: Sender<Batch>,
+    group: usize,
+    compress: bool,
+) {
+    dude_nvm::set_background_stage(true);
+    let mut heap: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
+    let mut stash: std::collections::HashMap<u64, LogRecord> = std::collections::HashMap::new();
+    let mut done = vec![false; inputs.len()];
+    let mut expected = shared.tracker.watermark() + 1;
+    let mut current: Vec<LogRecord> = Vec::new();
+    let mut buf = Vec::new();
+    let mut last_flush = Instant::now();
+    // Flush a partial group after this much quiet time (latency bound).
+    let max_hold = Duration::from_millis(2);
+
+    let flush =
+        |current: &mut Vec<LogRecord>, buf: &mut Vec<u64>, out: &Sender<Batch>, shared: &Shared| {
+            if current.is_empty() {
+                return;
+            }
+            let first = current.first().expect("non-empty group").tid();
+            let last = current.last().expect("non-empty group").tid();
+            let before: usize = current.iter().map(|r| r.writes().len()).sum();
+            let mut combined = combine(current);
+            // Sort by address: replay gets sequential locality and the
+            // compressor sees runs of shared high address bytes.
+            combined.sort_unstable_by_key(|&(a, _)| a);
+            let (raw, stored) = serialize_group(first, last, &combined, compress, buf);
+            let span = shared.rings[0].append(buf);
+            shared
+                .stats
+                .entries_logged
+                .fetch_add(before as u64, Ordering::Relaxed);
+            shared
+                .stats
+                .entries_before_combine
+                .fetch_add(before as u64, Ordering::Relaxed);
+            shared
+                .stats
+                .entries_after_combine
+                .fetch_add(combined.len() as u64, Ordering::Relaxed);
+            shared
+                .stats
+                .group_bytes_raw
+                .fetch_add(raw as u64, Ordering::Relaxed);
+            shared
+                .stats
+                .group_bytes_stored
+                .fetch_add(stored as u64, Ordering::Relaxed);
+            shared
+                .stats
+                .groups_persisted
+                .fetch_add(1, Ordering::Relaxed);
+            shared.tracker.mark_range(first, last);
+            let _ = out.send(Batch {
+                first_tid: first,
+                last_tid: last,
+                writes: combined,
+                spans: vec![(0, span)],
+            });
+            current.clear();
+        };
+
+    loop {
+        let mut progress = false;
+        for (i, (_ring_idx, rx)) in inputs.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            for _ in 0..64 {
+                match rx.try_recv() {
+                    Ok(rec) => {
+                        progress = true;
+                        let tid = rec.tid();
+                        heap.push(std::cmp::Reverse(tid));
+                        stash.insert(tid, rec);
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        done[i] = true;
+                        break;
+                    }
+                }
+            }
+        }
+        // Move dense-prefix records into the current group.
+        while heap
+            .peek()
+            .is_some_and(|&std::cmp::Reverse(tid)| tid == expected)
+        {
+            heap.pop();
+            let rec = stash.remove(&expected).expect("stashed record");
+            current.push(rec);
+            expected += 1;
+            if current.len() >= group {
+                flush(&mut current, &mut buf, &out, &shared);
+                last_flush = Instant::now();
+            }
+        }
+        let all_done = done.iter().all(|&d| d);
+        if all_done && heap.is_empty() {
+            flush(&mut current, &mut buf, &out, &shared);
+            return;
+        }
+        if !current.is_empty() && last_flush.elapsed() > max_hold {
+            flush(&mut current, &mut buf, &out, &shared);
+            last_flush = Instant::now();
+        }
+        if !progress {
+            if all_done {
+                // Channels are closed but the reorder heap has a gap: a
+                // transaction ID was allocated and never logged. This is a
+                // protocol violation upstream.
+                panic!(
+                    "persist(grouped): tid {expected} missing with inputs closed \
+                     ({} stashed)",
+                    stash.len()
+                );
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+}
+
+/// The Reproduce worker (§3.4): replays batches in dense transaction-ID
+/// order onto the persistent heap, checkpoints, and recycles log space.
+pub(crate) fn reproduce_worker(shared: Arc<Shared>, rx: Receiver<Batch>) {
+    dude_nvm::set_background_stage(true);
+    let mut heap: BinaryHeap<Batch> = BinaryHeap::new();
+    let mut expected = shared.reproduced.load(Ordering::Acquire) + 1;
+    let mut pending_release: Vec<(usize, PlogSpan)> = Vec::new();
+    let mut since_checkpoint = 0u64;
+    loop {
+        let mut idle = false;
+        let disconnected = match rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(batch) => {
+                heap.push(batch);
+                false
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                idle = true;
+                false
+            }
+            Err(RecvTimeoutError::Disconnected) => true,
+        };
+        while heap.peek().is_some_and(|b| b.first_tid == expected) {
+            let batch = heap.pop().expect("peeked batch");
+            for &(addr, val) in &batch.writes {
+                let off = shared.heap.start() + addr;
+                shared.nvm.write_word(off, val);
+                shared.nvm.flush(off, 8);
+            }
+            shared
+                .stats
+                .txns_reproduced
+                .fetch_add(batch.last_tid - batch.first_tid + 1, Ordering::Relaxed);
+            since_checkpoint += batch.last_tid - batch.first_tid + 1;
+            expected = batch.last_tid + 1;
+            // Volatile progress marker: gates paged-shadow swap-ins (§4.3).
+            shared.reproduced.store(expected - 1, Ordering::Release);
+            pending_release.extend(batch.spans);
+            if since_checkpoint >= shared.config.checkpoint_every {
+                checkpoint(&shared, expected - 1, &mut pending_release);
+                since_checkpoint = 0;
+            }
+        }
+        // Idle tick with work applied but not yet checkpointed: checkpoint
+        // now so the covered log spans are recycled promptly (a Persist
+        // thread may be waiting for exactly that space).
+        if idle && !pending_release.is_empty() {
+            checkpoint(&shared, expected - 1, &mut pending_release);
+            since_checkpoint = 0;
+        }
+        if disconnected {
+            if let Some(top) = heap.peek() {
+                panic!(
+                    "reproduce: tid {expected} missing with pipeline closed \
+                     (next available {})",
+                    top.first_tid
+                );
+            }
+            checkpoint(&shared, expected - 1, &mut pending_release);
+            return;
+        }
+    }
+}
+
+/// Durably records `reproduced` in the metadata region, then recycles the
+/// covered log spans. The single fence also covers all data-line flushes
+/// issued since the last checkpoint, so recovery never observes a
+/// checkpoint ahead of its data.
+fn checkpoint(shared: &Shared, reproduced: u64, pending_release: &mut Vec<(usize, PlogSpan)>) {
+    let off = shared.meta.start() + crate::runtime::META_REPRODUCED * 8;
+    shared.nvm.write_word(off, reproduced);
+    shared.nvm.flush(off, 8);
+    shared.nvm.fence();
+    shared.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+    for (ring_idx, span) in pending_release.drain(..) {
+        shared.rings[ring_idx].release(span);
+    }
+}

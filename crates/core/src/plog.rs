@@ -1,0 +1,338 @@
+//! Persistent redo-log rings (Figure 1's "persistent log region").
+//!
+//! Each Perform thread owns one fixed-size ring in NVM. The Persist step
+//! appends checksummed records and issues exactly **one persist barrier per
+//! record (or group)** — the whole point of redo logging (§2.2). Space is
+//! recycled by the Reproduce step only after the covering checkpoint is
+//! durable, so recovery can trust every unreleased record it finds.
+//!
+//! Recovery does not rely on any volatile cursor: it scans the whole region
+//! probing every word for a record header and validating checksums
+//! ([`scan_region`]). Released (stale) records are filtered out by the
+//! reproduced-ID checkpoint, torn records fail their checksum, and live
+//! records are found wherever the ring wrapped them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dude_nvm::{Nvm, Region};
+use parking_lot::Mutex;
+
+use crate::log::{is_skip, parse_record, skip_word, ParsedRecord};
+
+/// Location of one appended record, in monotonic ring coordinates
+/// (includes any wrap padding that preceded it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlogSpan {
+    /// Monotonic word offset at which the span starts.
+    pub start: u64,
+    /// Words covered (padding + record).
+    pub words: u64,
+}
+
+/// A single-writer, single-releaser persistent log ring.
+#[derive(Debug)]
+pub struct PlogRing {
+    nvm: Arc<Nvm>,
+    region: Region,
+    capacity_words: u64,
+    /// Monotonic count of released words.
+    head: AtomicU64,
+    /// Monotonic count of written words.
+    tail: AtomicU64,
+    /// Serializes appends (each ring has one logical writer; the lock makes
+    /// that assumption safe rather than trusted).
+    append_lock: Mutex<()>,
+}
+
+impl PlogRing {
+    /// Creates an empty ring over `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is not word-aligned or smaller than 64 words.
+    pub fn new(nvm: Arc<Nvm>, region: Region) -> Self {
+        assert!(region.start().is_multiple_of(8) && region.len().is_multiple_of(8));
+        let capacity_words = region.len() / 8;
+        assert!(capacity_words >= 64, "plog ring too small");
+        PlogRing {
+            nvm,
+            region,
+            capacity_words,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            append_lock: Mutex::new(()),
+        }
+    }
+
+    /// Ring capacity in words.
+    pub fn capacity_words(&self) -> u64 {
+        self.capacity_words
+    }
+
+    /// Words currently live (written but not released).
+    pub fn used_words(&self) -> u64 {
+        self.tail.load(Ordering::Acquire) - self.head.load(Ordering::Acquire)
+    }
+
+    /// Appends `record` and persists it with one barrier. Blocks (yielding)
+    /// while the ring lacks space — the backpressure that ultimately blocks
+    /// the Perform thread when logs outrun the Persist step (§3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record is larger than half the ring.
+    pub fn append(&self, record: &[u64]) -> PlogSpan {
+        let span = self.append_unfenced(record);
+        self.nvm.fence();
+        span
+    }
+
+    /// Appends and flushes `record` **without** the ordering fence. The
+    /// caller must fence before treating the record as durable; the Persist
+    /// step uses this to batch several transactions under one barrier,
+    /// which the paper explicitly permits (§3.3 "persist redo logs in a
+    /// batched manner").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record is larger than half the ring.
+    pub fn append_unfenced(&self, record: &[u64]) -> PlogSpan {
+        loop {
+            if let Some(span) = self.try_append_unfenced(record) {
+                return span;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Non-blocking [`PlogRing::append_unfenced`]: returns `None` when the
+    /// ring currently lacks space. A Persist thread serving several rings
+    /// must never *block* on one full ring — the blocked ring can only
+    /// drain after Reproduce passes transactions that still sit in the
+    /// other rings' channels, so blocking would deadlock the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record is larger than half the ring.
+    pub fn try_append_unfenced(&self, record: &[u64]) -> Option<PlogSpan> {
+        let len = record.len() as u64;
+        assert!(
+            len <= self.capacity_words / 2,
+            "record of {len} words exceeds half the ring ({} words)",
+            self.capacity_words
+        );
+        let _guard = self.append_lock.lock();
+        let tail = self.tail.load(Ordering::Relaxed);
+        let tail_mod = tail % self.capacity_words;
+        let pad = if tail_mod + len > self.capacity_words {
+            self.capacity_words - tail_mod
+        } else {
+            0
+        };
+        let total = pad + len;
+        if tail + total - self.head.load(Ordering::Acquire) > self.capacity_words {
+            return None;
+        }
+        if pad > 0 {
+            // Tell sequential readers (none today; defensive) to wrap.
+            let off = self.region.start() + tail_mod * 8;
+            self.nvm.write_word(off, skip_word());
+            self.nvm.flush(off, 8);
+        }
+        let write_mod = (tail + pad) % self.capacity_words;
+        let off = self.region.start() + write_mod * 8;
+        self.nvm.write_words(off, record);
+        self.nvm.flush(off, len * 8);
+        self.tail.store(tail + total, Ordering::Release);
+        Some(PlogSpan {
+            start: tail,
+            words: total,
+        })
+    }
+
+    /// Releases a span returned by [`PlogRing::append`]. Spans must be
+    /// released in append order, and only after the reproduced-ID checkpoint
+    /// covering them is durable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-order release.
+    pub fn release(&self, span: PlogSpan) {
+        let head = self.head.load(Ordering::Relaxed);
+        assert_eq!(
+            head, span.start,
+            "plog spans must be released in append order"
+        );
+        self.head.store(head + span.words, Ordering::Release);
+    }
+}
+
+/// Scans a log region for checksum-valid records.
+///
+/// Probes every word offset for a record header; the 64-bit checksum makes
+/// false positives negligible. Returns records in scan order (the caller
+/// orders them by transaction ID).
+pub fn scan_region(nvm: &Nvm, region: Region) -> Vec<ParsedRecord> {
+    let words_len = (region.len() / 8) as usize;
+    let mut words = vec![0u64; words_len];
+    nvm.read_words(region.start(), &mut words);
+    let mut found = Vec::new();
+    for off in 0..words_len {
+        if is_skip(words[off]) {
+            continue;
+        }
+        if let Some(rec) = parse_record(&words[off..]) {
+            found.push(rec);
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{serialize_abort, serialize_commit};
+    use dude_nvm::NvmConfig;
+
+    fn setup(region_words: u64) -> (Arc<Nvm>, PlogRing, Region) {
+        let nvm = Arc::new(Nvm::new(NvmConfig::for_testing(region_words * 8)));
+        let region = Region::new(0, region_words * 8);
+        let ring = PlogRing::new(Arc::clone(&nvm), region);
+        (nvm, ring, region)
+    }
+
+    #[test]
+    fn append_then_scan_finds_record() {
+        let (nvm, ring, region) = setup(256);
+        let mut buf = Vec::new();
+        serialize_commit(1, &[(8, 42)], &mut buf);
+        let span = ring.append(&buf);
+        assert_eq!(span.start, 0);
+        assert_eq!(span.words, buf.len() as u64);
+        let recs = scan_region(&nvm, region);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].first_tid, 1);
+        assert_eq!(recs[0].writes, vec![(8, 42)]);
+    }
+
+    #[test]
+    fn appended_records_survive_crash() {
+        let (nvm, ring, region) = setup(256);
+        let mut buf = Vec::new();
+        serialize_commit(1, &[(8, 42)], &mut buf);
+        ring.append(&buf);
+        nvm.crash();
+        let recs = scan_region(&nvm, region);
+        assert_eq!(recs.len(), 1, "persisted record must survive crash");
+    }
+
+    #[test]
+    fn unpersisted_write_does_not_survive() {
+        let (nvm, _ring, region) = setup(256);
+        let mut buf = Vec::new();
+        serialize_commit(1, &[(8, 42)], &mut buf);
+        // Write the record bytes but never flush/fence.
+        nvm.write_words(region.start(), &buf);
+        nvm.crash();
+        assert!(scan_region(&nvm, region).is_empty());
+    }
+
+    #[test]
+    fn wrap_around_with_release() {
+        let (nvm, ring, region) = setup(64);
+        let mut buf = Vec::new();
+        let mut spans = Vec::new();
+        // Each commit record with 2 writes = 3 + 4 + 1 = 8 words; ring holds 8.
+        for tid in 1..=32u64 {
+            serialize_commit(tid, &[(8, tid), (16, tid)], &mut buf);
+            // Release the oldest span when the ring gets tight.
+            while ring.used_words() + buf.len() as u64 + 8 > ring.capacity_words() {
+                let s: PlogSpan = spans.remove(0);
+                ring.release(s);
+            }
+            spans.push(ring.append(&buf));
+        }
+        // The most recent records are still discoverable.
+        let recs = scan_region(&nvm, region);
+        let max_tid = recs.iter().map(|r| r.last_tid).max().unwrap();
+        assert_eq!(max_tid, 32);
+        // All surviving records are contiguous at the tail of the sequence.
+        let mut tids: Vec<u64> = recs.iter().map(|r| r.first_tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        let min_tid = tids[0];
+        assert_eq!(
+            tids,
+            (min_tid..=32).collect::<Vec<_>>(),
+            "live records must cover a contiguous tid suffix"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "append order")]
+    fn out_of_order_release_panics() {
+        let (_nvm, ring, _region) = setup(256);
+        let mut buf = Vec::new();
+        serialize_abort(1, &mut buf);
+        let s1 = ring.append(&buf);
+        serialize_abort(2, &mut buf);
+        let s2 = ring.append(&buf);
+        let _ = s1;
+        ring.release(s2);
+    }
+
+    #[test]
+    fn scan_ignores_torn_record() {
+        let (nvm, ring, region) = setup(256);
+        let mut buf = Vec::new();
+        serialize_commit(1, &[(8, 1)], &mut buf);
+        ring.append(&buf);
+        // Simulate a torn append: valid-looking header, no valid checksum,
+        // never fenced.
+        serialize_commit(2, &[(16, 2)], &mut buf);
+        let torn = &buf[..buf.len() - 1];
+        nvm.write_words(region.start() + 64 * 8, torn);
+        nvm.crash();
+        let recs = scan_region(&nvm, region);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].first_tid, 1);
+    }
+
+    #[test]
+    fn used_words_tracks_live_data() {
+        let (_nvm, ring, _region) = setup(256);
+        assert_eq!(ring.used_words(), 0);
+        let mut buf = Vec::new();
+        serialize_abort(1, &mut buf);
+        let s = ring.append(&buf);
+        assert_eq!(ring.used_words(), 4);
+        ring.release(s);
+        assert_eq!(ring.used_words(), 0);
+    }
+
+    #[test]
+    fn append_blocks_until_release() {
+        // Fill the ring almost completely, then show append waits for a
+        // release performed by another thread.
+        let (_nvm, ring, _region) = setup(64);
+        let ring = Arc::new(ring);
+        let mut buf = Vec::new();
+        serialize_commit(1, &[(8, 1); 13], &mut buf); // 3+26+1 = 30 words
+        let s1 = ring.append(&buf);
+        let mut buf2 = Vec::new();
+        serialize_commit(2, &[(8, 2); 13], &mut buf2);
+        let _s2 = ring.append(&buf2); // 60/64 used
+        let r2 = Arc::clone(&ring);
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            r2.release(s1);
+        });
+        let mut buf3 = Vec::new();
+        serialize_commit(3, &[(8, 3); 13], &mut buf3);
+        let start = std::time::Instant::now();
+        ring.append(&buf3); // must block until release
+        assert!(start.elapsed() >= std::time::Duration::from_millis(15));
+        releaser.join().unwrap();
+    }
+}

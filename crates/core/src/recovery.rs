@@ -1,0 +1,136 @@
+//! Crash recovery (§3.5).
+//!
+//! Recovery scans the persistent log regions, collects every intact record
+//! with a transaction ID above the durable reproduced-ID checkpoint, and
+//! replays them **in increasing ID order until the first gap**. A gap means
+//! the missing transaction's log never became durable; it — and everything
+//! after it, which could causally depend on it — is discarded. Transactions
+//! whose durability was acknowledged can never be part of the discarded
+//! tail, because acknowledgement requires the durable ID to cover them,
+//! which requires every smaller ID to be persisted.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dude_nvm::Nvm;
+
+use crate::config::DudeTmConfig;
+use crate::plog::scan_region;
+use crate::runtime::{
+    NvmLayout, META_MAGIC, META_MAGIC_WORD, META_REPRODUCED, META_THREADS, META_VERSION,
+    META_VERSION_WORD,
+};
+
+/// Outcome of [`recover_device`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Reproduced-ID checkpoint found on the device.
+    pub checkpoint: u64,
+    /// Last transaction ID after replay (the new clock origin).
+    pub last_tid: u64,
+    /// Transactions replayed from the logs (including abort markers).
+    pub replayed: u64,
+    /// Intact log records that were discarded because they sat beyond the
+    /// first ID gap (persisted but never acknowledged durable).
+    pub discarded: u64,
+}
+
+/// Errors returned by [`recover_device`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The device does not carry DudeTM's metadata magic.
+    NotFormatted,
+    /// The on-device format version is unsupported.
+    BadVersion(u64),
+    /// The device was formatted with a different `max_threads`, so the log
+    /// layout does not match.
+    LayoutMismatch {
+        /// Thread count recorded on the device.
+        on_device: u64,
+        /// Thread count in the supplied configuration.
+        configured: u64,
+    },
+}
+
+impl core::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecoverError::NotFormatted => f.write_str("device is not a DudeTM volume"),
+            RecoverError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            RecoverError::LayoutMismatch {
+                on_device,
+                configured,
+            } => write!(
+                f,
+                "device formatted for {on_device} threads, configured for {configured}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// Replays persistent logs into the heap image and durably advances the
+/// checkpoint. Returns the layout and report; [`crate::DudeTm`] constructors
+/// call this before starting the pipeline.
+///
+/// # Errors
+///
+/// See [`RecoverError`].
+pub fn recover_device(
+    nvm: &Arc<Nvm>,
+    config: &DudeTmConfig,
+) -> Result<(NvmLayout, RecoveryReport), RecoverError> {
+    config.validate();
+    let layout = NvmLayout::compute(nvm.size_bytes(), config);
+    if nvm.read_word(layout.meta.start() + META_MAGIC_WORD * 8) != META_MAGIC {
+        return Err(RecoverError::NotFormatted);
+    }
+    let version = nvm.read_word(layout.meta.start() + META_VERSION_WORD * 8);
+    if version != META_VERSION {
+        return Err(RecoverError::BadVersion(version));
+    }
+    let on_device = nvm.read_word(layout.meta.start() + META_THREADS * 8);
+    if on_device != config.max_threads as u64 {
+        return Err(RecoverError::LayoutMismatch {
+            on_device,
+            configured: config.max_threads as u64,
+        });
+    }
+    let checkpoint = nvm.read_word(layout.meta.start() + META_REPRODUCED * 8);
+
+    // Collect intact records beyond the checkpoint from every log ring.
+    let mut records = HashMap::new();
+    for &region in &layout.plogs {
+        for rec in scan_region(nvm, region) {
+            if rec.first_tid > checkpoint {
+                records.insert(rec.first_tid, rec);
+            }
+        }
+    }
+
+    // Replay the dense prefix.
+    let mut expected = checkpoint + 1;
+    let mut replayed = 0u64;
+    while let Some(rec) = records.remove(&expected) {
+        for &(addr, val) in &rec.writes {
+            let off = layout.heap.start() + addr;
+            nvm.write_word(off, val);
+            nvm.flush(off, 8);
+        }
+        replayed += rec.last_tid - rec.first_tid + 1;
+        expected = rec.last_tid + 1;
+    }
+    let last_tid = expected - 1;
+    nvm.write_word(layout.meta.start() + META_REPRODUCED * 8, last_tid);
+    nvm.flush(layout.meta.start() + META_REPRODUCED * 8, 8);
+    nvm.fence();
+
+    let report = RecoveryReport {
+        checkpoint,
+        last_tid,
+        replayed,
+        discarded: records.len() as u64,
+    };
+    Ok((layout, report))
+}

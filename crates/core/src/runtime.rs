@@ -1,0 +1,565 @@
+//! The DudeTM runtime: layout, registration, the `dtm*` API, and pipeline
+//! wiring.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use dude_nvm::{Nvm, Region};
+use dude_txapi::{PAddr, TxAbort, TxResult, Txn, TxnOutcome, TxnSystem, TxnThread};
+use parking_lot::Mutex;
+
+use crate::config::{DudeTmConfig, DurabilityMode};
+use crate::engine::{EngineThread, TmEngine};
+use crate::log::{serialize_abort, serialize_commit, LogRecord};
+use crate::pipeline::{persist_worker, persist_worker_grouped, reproduce_worker, Batch};
+use crate::plog::PlogRing;
+use crate::seqtrack::SequenceTracker;
+use crate::shadow::ShadowMem;
+use crate::stats::{PipelineStats, PipelineStatsSnapshot};
+
+/// Magic number identifying a formatted DudeTM device.
+pub(crate) const META_MAGIC: u64 = 0xD00D_E7A6_0001_CAFE;
+/// On-NVM format version.
+pub(crate) const META_VERSION: u64 = 1;
+/// Metadata word indices.
+pub(crate) const META_MAGIC_WORD: u64 = 0;
+pub(crate) const META_VERSION_WORD: u64 = 1;
+pub(crate) const META_REPRODUCED: u64 = 2;
+pub(crate) const META_THREADS: u64 = 3;
+const META_WORDS: u64 = 8;
+
+/// NVM layout: metadata, per-thread persistent log rings, heap.
+#[derive(Debug, Clone)]
+pub struct NvmLayout {
+    /// Runtime metadata block (magic, version, reproduced-ID checkpoint).
+    pub meta: Region,
+    /// One persistent redo-log ring per Perform thread.
+    pub plogs: Vec<Region>,
+    /// The persistent heap the application addresses with `PAddr`.
+    pub heap: Region,
+}
+
+impl NvmLayout {
+    pub(crate) fn compute(nvm_bytes: u64, config: &DudeTmConfig) -> NvmLayout {
+        let mut off = 0u64;
+        let meta = Region::new(off, META_WORDS * 8);
+        off += META_WORDS * 8;
+        let mut plogs = Vec::with_capacity(config.max_threads);
+        for _ in 0..config.max_threads {
+            plogs.push(Region::new(off, config.plog_bytes_per_thread));
+            off += config.plog_bytes_per_thread;
+        }
+        // Page-align the heap.
+        off = off.next_multiple_of(4096);
+        let heap = Region::new(off, config.heap_bytes);
+        assert!(
+            heap.end() <= nvm_bytes,
+            "NVM device too small: need {} bytes (meta + {} log rings + heap), have {}",
+            heap.end(),
+            config.max_threads,
+            nvm_bytes
+        );
+        NvmLayout { meta, plogs, heap }
+    }
+}
+
+/// State shared between the API threads and the pipeline workers.
+#[derive(Debug)]
+pub struct Shared {
+    pub(crate) nvm: Arc<Nvm>,
+    pub(crate) config: DudeTmConfig,
+    pub(crate) meta: Region,
+    pub(crate) heap: Region,
+    pub(crate) rings: Vec<Arc<PlogRing>>,
+    pub(crate) tracker: SequenceTracker,
+    pub(crate) reproduced: Arc<AtomicU64>,
+    pub(crate) stats: PipelineStats,
+}
+
+/// Where a thread's committed redo logs go.
+#[derive(Debug)]
+enum Sink {
+    /// Asynchronous pipeline: hand the record to a Persist thread.
+    Channel(Sender<LogRecord>),
+    /// DudeTM-Sync: persist inline, then forward to Reproduce.
+    Sync {
+        ring_idx: usize,
+        batches: Sender<Batch>,
+    },
+}
+
+/// [`dude_stm::TxHooks`] implementation realizing Algorithm 2: `dtmWrite`
+/// appends to the thread-local volatile log, `dtmEnd` seals it with the
+/// commit timestamp, `dtmAbort` discards it (emitting an abort marker if a
+/// timestamp was wasted).
+#[derive(Debug)]
+pub struct RedoHooks {
+    staged: Vec<(u64, u64)>,
+    sink: Sink,
+    shared: Arc<Shared>,
+    shadow: Arc<ShadowMem>,
+    buf: Vec<u64>,
+}
+
+impl RedoHooks {
+    fn send_sync_record(&mut self, rec: LogRecord) {
+        let Sink::Sync { ring_idx, batches } = &self.sink else {
+            unreachable!("send_sync_record on async sink")
+        };
+        let tid = rec.tid();
+        let writes = match rec {
+            LogRecord::Commit { writes, .. } => {
+                serialize_commit(tid, &writes, &mut self.buf);
+                writes
+            }
+            LogRecord::Abort { .. } => {
+                serialize_abort(tid, &mut self.buf);
+                Vec::new()
+            }
+        };
+        let span = self.shared.rings[*ring_idx].append(&self.buf);
+        self.shared
+            .stats
+            .records_persisted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .stats
+            .entries_logged
+            .fetch_add(writes.len() as u64, Ordering::Relaxed);
+        self.shared.tracker.mark(tid);
+        let _ = batches.send(Batch {
+            first_tid: tid,
+            last_tid: tid,
+            writes,
+            spans: vec![(*ring_idx, span)],
+        });
+    }
+}
+
+impl dude_stm::TxHooks for RedoHooks {
+    fn on_write(&mut self, addr: u64, val: u64) {
+        self.staged.push((addr, val));
+    }
+
+    fn on_commit(&mut self, tid: Option<u64>) {
+        let Some(tid) = tid else {
+            debug_assert!(self.staged.is_empty(), "read-only commit with writes");
+            self.staged.clear();
+            return;
+        };
+        self.shared.stats.commits.fetch_add(1, Ordering::Relaxed);
+        // Touching IDs must be set while the written pages are still pinned
+        // by the running view (§4.3).
+        self.shadow.note_commit(tid, &self.staged);
+        let writes = std::mem::take(&mut self.staged);
+        match &self.sink {
+            Sink::Channel(tx) => {
+                // A full bounded buffer blocks here — the Perform-side
+                // backpressure of §3.2.
+                let _ = tx.send(LogRecord::Commit { tid, writes });
+            }
+            Sink::Sync { .. } => self.send_sync_record(LogRecord::Commit { tid, writes }),
+        }
+    }
+
+    fn on_abort(&mut self, wasted_tid: Option<u64>) {
+        self.staged.clear();
+        let Some(tid) = wasted_tid else { return };
+        self.shared
+            .stats
+            .abort_markers
+            .fetch_add(1, Ordering::Relaxed);
+        match &self.sink {
+            Sink::Channel(tx) => {
+                let _ = tx.send(LogRecord::Abort { tid });
+            }
+            Sink::Sync { .. } => self.send_sync_record(LogRecord::Abort { tid }),
+        }
+    }
+}
+
+/// A durable, decoupled transaction runtime (the paper's system).
+///
+/// Generic over the TM engine `E` — [`dude_stm::Stm`] or
+/// [`dude_htm::Htm`] — reflecting the paper's out-of-the-box-TM design.
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct DudeTm<E: TmEngine> {
+    engine: E,
+    shadow: Arc<ShadowMem>,
+    shared: Arc<Shared>,
+    /// Per-slot volatile-log senders (async modes).
+    record_senders: Vec<Sender<LogRecord>>,
+    /// Producer side of the persist→reproduce channel (cloned by sync-mode
+    /// threads; dropped at shutdown).
+    batch_sender: Mutex<Option<Sender<Batch>>>,
+    next_slot: AtomicUsize,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    name: &'static str,
+}
+
+impl<E: TmEngine> DudeTm<E> {
+    /// Formats `nvm` and starts a fresh runtime with the given engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the device is too small.
+    pub fn create_with(nvm: Arc<Nvm>, config: DudeTmConfig, engine: E) -> Self {
+        config.validate();
+        let layout = NvmLayout::compute(nvm.size_bytes(), &config);
+        // Format the metadata block.
+        nvm.write_word(layout.meta.start() + META_MAGIC_WORD * 8, META_MAGIC);
+        nvm.write_word(layout.meta.start() + META_VERSION_WORD * 8, META_VERSION);
+        nvm.write_word(layout.meta.start() + META_REPRODUCED * 8, 0);
+        nvm.write_word(
+            layout.meta.start() + META_THREADS * 8,
+            config.max_threads as u64,
+        );
+        nvm.persist(layout.meta.start(), META_WORDS * 8);
+        Self::start(nvm, config, engine, layout, 0)
+    }
+
+    /// Starts a runtime over an already-recovered device. `start_tid` is the
+    /// last reproduced transaction ID (see [`crate::recover_device`]).
+    pub(crate) fn start(
+        nvm: Arc<Nvm>,
+        config: DudeTmConfig,
+        engine: E,
+        layout: NvmLayout,
+        start_tid: u64,
+    ) -> Self {
+        let rings: Vec<Arc<PlogRing>> = layout
+            .plogs
+            .iter()
+            .map(|&r| Arc::new(PlogRing::new(Arc::clone(&nvm), r)))
+            .collect();
+        let reproduced = Arc::new(AtomicU64::new(start_tid));
+        let shared = Arc::new(Shared {
+            nvm: Arc::clone(&nvm),
+            config,
+            meta: layout.meta,
+            heap: layout.heap,
+            rings,
+            tracker: SequenceTracker::starting_at(start_tid),
+            reproduced: Arc::clone(&reproduced),
+            stats: PipelineStats::default(),
+        });
+        let shadow = Arc::new(ShadowMem::new(
+            config.shadow,
+            config.heap_bytes,
+            Arc::clone(&nvm),
+            layout.heap,
+            reproduced,
+        ));
+        shadow.populate_from_nvm(&nvm, layout.heap);
+
+        let (batch_tx, batch_rx) = unbounded::<Batch>();
+        let mut workers = Vec::new();
+        let mut record_senders = Vec::new();
+
+        match config.durability {
+            DurabilityMode::Sync => {}
+            DurabilityMode::Async { .. } | DurabilityMode::AsyncUnbounded => {
+                let cap = match config.durability {
+                    DurabilityMode::Async { buffer_txns } => Some(buffer_txns),
+                    _ => None,
+                };
+                let mut receivers = Vec::new();
+                for _ in 0..config.max_threads {
+                    let (tx, rx) = match cap {
+                        Some(c) => bounded(c),
+                        None => unbounded(),
+                    };
+                    record_senders.push(tx);
+                    receivers.push(rx);
+                }
+                if config.persist_group > 1 {
+                    let shared2 = Arc::clone(&shared);
+                    let out = batch_tx.clone();
+                    let inputs = receivers.into_iter().enumerate().collect();
+                    let (group, compress) = (config.persist_group, config.compress_groups);
+                    workers.push(
+                        std::thread::Builder::new()
+                            .name("dude-persist-group".into())
+                            .spawn(move || {
+                                persist_worker_grouped(shared2, inputs, out, group, compress)
+                            })
+                            .expect("spawn persist worker"),
+                    );
+                } else {
+                    // Partition the per-thread channels across persist
+                    // threads round-robin.
+                    let n = config.persist_threads.min(config.max_threads);
+                    let mut parts: Vec<Vec<(usize, crossbeam::channel::Receiver<LogRecord>)>> =
+                        (0..n).map(|_| Vec::new()).collect();
+                    for (i, rx) in receivers.into_iter().enumerate() {
+                        parts[i % n].push((i, rx));
+                    }
+                    for (w, inputs) in parts.into_iter().enumerate() {
+                        let shared2 = Arc::clone(&shared);
+                        let out = batch_tx.clone();
+                        workers.push(
+                            std::thread::Builder::new()
+                                .name(format!("dude-persist-{w}"))
+                                .spawn(move || persist_worker(shared2, inputs, out))
+                                .expect("spawn persist worker"),
+                        );
+                    }
+                }
+            }
+        }
+        {
+            let shared2 = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("dude-reproduce".into())
+                    .spawn(move || reproduce_worker(shared2, batch_rx))
+                    .expect("spawn reproduce worker"),
+            );
+        }
+
+        DudeTm {
+            engine,
+            shadow,
+            shared,
+            record_senders,
+            batch_sender: Mutex::new(Some(batch_tx)),
+            next_slot: AtomicUsize::new(0),
+            workers: Mutex::new(workers),
+            name: match config.durability {
+                DurabilityMode::Async { .. } => "DudeTM",
+                DurabilityMode::AsyncUnbounded => "DudeTM-Inf",
+                DurabilityMode::Sync => "DudeTM-Sync",
+            },
+        }
+    }
+
+    /// The underlying emulated NVM device.
+    pub fn nvm(&self) -> &Arc<Nvm> {
+        &self.shared.nvm
+    }
+
+    /// The TM engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// The heap region of the device (for building application layouts).
+    pub fn heap_region(&self) -> Region {
+        self.shared.heap
+    }
+
+    /// The global durable transaction ID: every transaction with an ID at or
+    /// below this is persistent (§3.3).
+    pub fn durable_id(&self) -> u64 {
+        self.shared.tracker.watermark()
+    }
+
+    /// The reproduced ID: every transaction at or below this has been
+    /// applied to the persistent heap image.
+    pub fn reproduced_id(&self) -> u64 {
+        self.shared.reproduced.load(Ordering::Acquire)
+    }
+
+    /// Pipeline statistics.
+    pub fn pipeline_stats(&self) -> PipelineStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Shadow paging statistics.
+    pub fn shadow_stats(&self) -> crate::shadow::ShadowStats {
+        self.shadow.stats()
+    }
+
+    /// Blocks until every transaction committed so far is both durable and
+    /// reproduced. Call only when no transactions are concurrently
+    /// committing.
+    pub fn quiesce(&self) {
+        let target = self.engine.clock_now();
+        while self.durable_id() < target || self.reproduced_id() < target {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Drains and stops the pipeline, performing a final checkpoint.
+    ///
+    /// Dropping the runtime does this automatically; `shutdown` exists for
+    /// callers that want the drain to happen at a deterministic point. All
+    /// [`DtmThread`]s must be dropped first (enforced by the borrow
+    /// checker, since they borrow the runtime).
+    pub fn shutdown(&mut self) {
+        self.record_senders.clear();
+        *self.batch_sender.lock() = None;
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<E: TmEngine> Drop for DudeTm<E> {
+    fn drop(&mut self) {
+        // Disconnect perform→persist channels.
+        self.record_senders.clear();
+        // Disconnect our copy of the persist→reproduce sender (persist
+        // workers hold clones until they exit).
+        *self.batch_sender.lock() = None;
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<E: TmEngine> TxnSystem for DudeTm<E> {
+    type Thread<'a>
+        = DtmThread<'a, E>
+    where
+        Self: 'a;
+
+    fn register_thread(&self) -> DtmThread<'_, E> {
+        let slot = self.next_slot.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            slot < self.shared.config.max_threads,
+            "more threads registered than DudeTmConfig::max_threads ({})",
+            self.shared.config.max_threads
+        );
+        let sink = match self.shared.config.durability {
+            DurabilityMode::Sync => Sink::Sync {
+                ring_idx: slot,
+                batches: self
+                    .batch_sender
+                    .lock()
+                    .as_ref()
+                    .expect("runtime is shut down")
+                    .clone(),
+            },
+            _ => Sink::Channel(self.record_senders[slot].clone()),
+        };
+        DtmThread {
+            dude: self,
+            engine_thread: self.engine.engine_thread(),
+            hooks: RedoHooks {
+                staged: Vec::new(),
+                sink,
+                shared: Arc::clone(&self.shared),
+                shadow: Arc::clone(&self.shadow),
+                buf: Vec::new(),
+            },
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn heap_words(&self) -> u64 {
+        self.shared.config.heap_bytes / 8
+    }
+
+    fn quiesce(&self) {
+        DudeTm::quiesce(self);
+    }
+}
+
+/// A registered Perform thread (the paper's `dtmBegin`/`dtmEnd` scope).
+pub struct DtmThread<'d, E: TmEngine> {
+    dude: &'d DudeTm<E>,
+    engine_thread: Box<dyn EngineThread + 'd>,
+    hooks: RedoHooks,
+}
+
+impl<E: TmEngine> std::fmt::Debug for DtmThread<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DtmThread").finish_non_exhaustive()
+    }
+}
+
+impl<'d, E: TmEngine> DtmThread<'d, E> {
+    /// Runs a durable transaction; see [`TxnThread::run`].
+    pub fn run_txn<T>(
+        &mut self,
+        body: &mut dyn FnMut(&mut dyn Txn) -> TxResult<T>,
+    ) -> TxnOutcome<T> {
+        let heap_bytes = self.dude.shared.config.heap_bytes;
+        let view = self.dude.shadow.view();
+        let mut slot: Option<T> = None;
+        let outcome = self.engine_thread.run_txn(&view, &mut self.hooks, &mut |acc| {
+            let mut tx = DtmTx {
+                inner: acc,
+                heap_bytes,
+            };
+            slot = Some(body(&mut tx)?);
+            Ok(())
+        });
+        match outcome {
+            TxnOutcome::Committed { info, .. } => TxnOutcome::Committed {
+                value: slot.take().expect("committed body must have produced a value"),
+                info,
+            },
+            TxnOutcome::Aborted => TxnOutcome::Aborted,
+        }
+    }
+}
+
+impl<E: TmEngine> TxnThread for DtmThread<'_, E> {
+    fn run<T>(&mut self, body: &mut dyn FnMut(&mut dyn Txn) -> TxResult<T>) -> TxnOutcome<T> {
+        self.run_txn(body)
+    }
+
+    fn wait_durable(&mut self, tid: u64) {
+        while self.dude.durable_id() < tid {
+            std::thread::yield_now();
+        }
+    }
+
+    fn durable_watermark(&self) -> u64 {
+        self.dude.durable_id()
+    }
+}
+
+/// The in-transaction handle: bounds-checked, word-aligned access to the
+/// persistent heap through the TM (paper's `dtmRead`/`dtmWrite`).
+pub struct DtmTx<'x> {
+    inner: &'x mut dyn dude_stm::TmAccess,
+    heap_bytes: u64,
+}
+
+impl std::fmt::Debug for DtmTx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DtmTx")
+            .field("heap_bytes", &self.heap_bytes)
+            .finish()
+    }
+}
+
+impl DtmTx<'_> {
+    #[inline]
+    fn check(&self, addr: PAddr) {
+        assert!(
+            addr.is_word_aligned(),
+            "transactional access must be word-aligned: {addr}"
+        );
+        assert!(
+            addr.offset() + 8 <= self.heap_bytes,
+            "address {addr} beyond heap of {} bytes",
+            self.heap_bytes
+        );
+    }
+}
+
+impl Txn for DtmTx<'_> {
+    fn read_word(&mut self, addr: PAddr) -> TxResult<u64> {
+        self.check(addr);
+        self.inner.tm_read(addr.offset())
+    }
+
+    fn write_word(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+        self.check(addr);
+        self.inner.tm_write(addr.offset(), val)
+    }
+}
+
+/// Convenience: user aborts (paper's `dtmAbort`).
+pub fn dtm_abort<T>() -> TxResult<T> {
+    Err(TxAbort::User)
+}

@@ -1,0 +1,134 @@
+//! Pipeline statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Relaxed counters shared by the pipeline stages.
+#[derive(Debug, Default)]
+pub struct PipelineStats {
+    pub(crate) commits: AtomicU64,
+    pub(crate) abort_markers: AtomicU64,
+    pub(crate) records_persisted: AtomicU64,
+    pub(crate) entries_logged: AtomicU64,
+    pub(crate) groups_persisted: AtomicU64,
+    pub(crate) entries_before_combine: AtomicU64,
+    pub(crate) entries_after_combine: AtomicU64,
+    pub(crate) group_bytes_raw: AtomicU64,
+    pub(crate) group_bytes_stored: AtomicU64,
+    pub(crate) txns_reproduced: AtomicU64,
+    pub(crate) checkpoints: AtomicU64,
+}
+
+/// Point-in-time copy of [`PipelineStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineStatsSnapshot {
+    /// Committed update transactions that entered the pipeline.
+    pub commits: u64,
+    /// Abort markers written to fill wasted-ID holes.
+    pub abort_markers: u64,
+    /// Individual records persisted (non-grouped mode).
+    pub records_persisted: u64,
+    /// Redo-log entries (one per transactional write) that reached the
+    /// Persist step — the paper's "# writes" statistic (Table 1).
+    pub entries_logged: u64,
+    /// Groups persisted (combination mode).
+    pub groups_persisted: u64,
+    /// Log entries entering combination.
+    pub entries_before_combine: u64,
+    /// Log entries remaining after combination.
+    pub entries_after_combine: u64,
+    /// Group payload bytes before compression.
+    pub group_bytes_raw: u64,
+    /// Group payload bytes actually stored.
+    pub group_bytes_stored: u64,
+    /// Transactions replayed into NVM by Reproduce.
+    pub txns_reproduced: u64,
+    /// Durable checkpoints written by Reproduce.
+    pub checkpoints: u64,
+}
+
+impl PipelineStats {
+    /// Takes a point-in-time copy.
+    pub fn snapshot(&self) -> PipelineStatsSnapshot {
+        PipelineStatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            abort_markers: self.abort_markers.load(Ordering::Relaxed),
+            records_persisted: self.records_persisted.load(Ordering::Relaxed),
+            entries_logged: self.entries_logged.load(Ordering::Relaxed),
+            groups_persisted: self.groups_persisted.load(Ordering::Relaxed),
+            entries_before_combine: self.entries_before_combine.load(Ordering::Relaxed),
+            entries_after_combine: self.entries_after_combine.load(Ordering::Relaxed),
+            group_bytes_raw: self.group_bytes_raw.load(Ordering::Relaxed),
+            group_bytes_stored: self.group_bytes_stored.load(Ordering::Relaxed),
+            txns_reproduced: self.txns_reproduced.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl PipelineStatsSnapshot {
+    /// Counter deltas since an earlier snapshot (used to separate the
+    /// measurement phase from the load phase).
+    #[must_use]
+    pub fn delta(&self, earlier: &PipelineStatsSnapshot) -> PipelineStatsSnapshot {
+        PipelineStatsSnapshot {
+            commits: self.commits - earlier.commits,
+            abort_markers: self.abort_markers - earlier.abort_markers,
+            records_persisted: self.records_persisted - earlier.records_persisted,
+            entries_logged: self.entries_logged - earlier.entries_logged,
+            groups_persisted: self.groups_persisted - earlier.groups_persisted,
+            entries_before_combine: self.entries_before_combine - earlier.entries_before_combine,
+            entries_after_combine: self.entries_after_combine - earlier.entries_after_combine,
+            group_bytes_raw: self.group_bytes_raw - earlier.group_bytes_raw,
+            group_bytes_stored: self.group_bytes_stored - earlier.group_bytes_stored,
+            txns_reproduced: self.txns_reproduced - earlier.txns_reproduced,
+            checkpoints: self.checkpoints - earlier.checkpoints,
+        }
+    }
+
+    /// Fraction of log entries eliminated by combination (Figure 3's
+    /// "saved NVM writes" series), 0.0 if nothing was combined.
+    pub fn combine_savings(&self) -> f64 {
+        if self.entries_before_combine == 0 {
+            return 0.0;
+        }
+        1.0 - self.entries_after_combine as f64 / self.entries_before_combine as f64
+    }
+
+    /// Fraction of group payload bytes eliminated by compression.
+    pub fn compression_savings(&self) -> f64 {
+        if self.group_bytes_raw == 0 {
+            return 0.0;
+        }
+        1.0 - self.group_bytes_stored as f64 / self.group_bytes_raw as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_math() {
+        let s = PipelineStatsSnapshot {
+            entries_before_combine: 100,
+            entries_after_combine: 25,
+            group_bytes_raw: 1000,
+            group_bytes_stored: 310,
+            ..Default::default()
+        };
+        assert!((s.combine_savings() - 0.75).abs() < 1e-9);
+        assert!((s.compression_savings() - 0.69).abs() < 1e-9);
+        assert_eq!(PipelineStatsSnapshot::default().combine_savings(), 0.0);
+        assert_eq!(PipelineStatsSnapshot::default().compression_savings(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let s = PipelineStats::default();
+        s.commits.store(5, Ordering::Relaxed);
+        s.txns_reproduced.store(3, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 5);
+        assert_eq!(snap.txns_reproduced, 3);
+    }
+}

@@ -1,0 +1,437 @@
+//! End-to-end tests of the decoupled pipeline: Perform → Persist →
+//! Reproduce, durability acknowledgement, crash recovery, log combination,
+//! and paging.
+
+use std::sync::Arc;
+
+use dude_nvm::{Nvm, NvmConfig};
+use dude_txapi::{PAddr, TxAbort, TxnSystem, TxnThread};
+use dudetm::{DudeTm, DudeTmConfig, DurabilityMode, PagingMode, ShadowConfig};
+
+fn test_nvm(bytes: u64) -> Arc<Nvm> {
+    Arc::new(Nvm::new(NvmConfig::for_testing(bytes)))
+}
+
+fn small_config() -> DudeTmConfig {
+    DudeTmConfig {
+        plog_bytes_per_thread: 1 << 18,
+        max_threads: 4,
+        ..DudeTmConfig::small(1 << 20)
+    }
+}
+
+/// Word address of heap slot `i`.
+fn slot(i: u64) -> PAddr {
+    PAddr::from_word_index(i)
+}
+
+#[test]
+fn committed_transactions_reach_nvm() {
+    let nvm = test_nvm(8 << 20);
+    let dude = DudeTm::create_stm(Arc::clone(&nvm), small_config());
+    let heap = dude.heap_region();
+    {
+        let mut t = dude.register_thread();
+        for i in 0..100u64 {
+            t.run(&mut |tx| tx.write_word(slot(i), i * 10)).expect_committed();
+        }
+    }
+    dude.quiesce();
+    for i in 0..100u64 {
+        assert_eq!(nvm.read_word(heap.start() + i * 8), i * 10);
+    }
+    let stats = dude.pipeline_stats();
+    assert_eq!(stats.commits, 100);
+    assert_eq!(stats.txns_reproduced, 100);
+}
+
+#[test]
+fn durable_id_advances_and_wait_durable_works() {
+    let nvm = test_nvm(8 << 20);
+    let dude = DudeTm::create_stm(nvm, small_config());
+    let mut t = dude.register_thread();
+    let out = t.run(&mut |tx| tx.write_word(slot(0), 7));
+    let tid = out.info().unwrap().tid.unwrap();
+    t.wait_durable(tid);
+    assert!(t.durable_watermark() >= tid);
+}
+
+#[test]
+fn user_abort_leaves_no_trace() {
+    let nvm = test_nvm(8 << 20);
+    let dude = DudeTm::create_stm(Arc::clone(&nvm), small_config());
+    let heap = dude.heap_region();
+    {
+        let mut t = dude.register_thread();
+        t.run(&mut |tx| tx.write_word(slot(0), 1)).expect_committed();
+        let out = t.run(&mut |tx| {
+            tx.write_word(slot(0), 99)?;
+            Err::<(), _>(TxAbort::User)
+        });
+        assert!(!out.is_committed());
+        // Shadow must still hold the committed value.
+        assert_eq!(t.run(&mut |tx| tx.read_word(slot(0))).expect_committed(), 1);
+    }
+    dude.quiesce();
+    assert_eq!(nvm.read_word(heap.start()), 1);
+}
+
+#[test]
+fn concurrent_transfers_conserve_money_end_to_end() {
+    let nvm = test_nvm(8 << 20);
+    let dude = Arc::new(DudeTm::create_stm(Arc::clone(&nvm), small_config()));
+    let heap = dude.heap_region();
+    const ACCOUNTS: u64 = 32;
+    {
+        let mut t = dude.register_thread();
+        t.run(&mut |tx| {
+            for i in 0..ACCOUNTS {
+                tx.write_word(slot(i), 100)?;
+            }
+            Ok(())
+        })
+        .expect_committed();
+    }
+    std::thread::scope(|s| {
+        for seed0 in 0..3u64 {
+            let dude = Arc::clone(&dude);
+            s.spawn(move || {
+                let mut t = dude.register_thread();
+                let mut seed = seed0 + 1;
+                for _ in 0..400 {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let a = (seed >> 33) % ACCOUNTS;
+                    let b = (seed >> 13) % ACCOUNTS;
+                    if a == b {
+                        continue;
+                    }
+                    t.run(&mut |tx| {
+                        let va = tx.read_word(slot(a))?;
+                        if va == 0 {
+                            return Err(TxAbort::User);
+                        }
+                        tx.write_word(slot(a), va - 1)?;
+                        let vb = tx.read_word(slot(b))?;
+                        tx.write_word(slot(b), vb + 1)
+                    });
+                }
+            });
+        }
+    });
+    dude.quiesce();
+    let total: u64 = (0..ACCOUNTS)
+        .map(|i| nvm.read_word(heap.start() + i * 8))
+        .sum();
+    assert_eq!(total, ACCOUNTS * 100, "NVM image must conserve total");
+}
+
+#[test]
+fn crash_before_persist_loses_nothing_acknowledged() {
+    let nvm = test_nvm(8 << 20);
+    let config = small_config();
+    let mut durable_values = Vec::new();
+    {
+        let dude = DudeTm::create_stm(Arc::clone(&nvm), config);
+        let mut t = dude.register_thread();
+        for i in 0..50u64 {
+            let out = t.run(&mut |tx| tx.write_word(slot(i), i + 1));
+            let tid = out.info().unwrap().tid.unwrap();
+            t.wait_durable(tid);
+            durable_values.push((i, i + 1));
+        }
+        drop(t);
+        // Crash with the pipeline mid-flight (no quiesce, no clean drop):
+        // simulate by crashing the device *now*.
+        nvm.crash();
+        // Tear down the runtime afterwards; its final checkpoint writes are
+        // post-crash and harmless for this test's purposes — recovery below
+        // uses a fresh copy of the device state? No: we recover in-place,
+        // so drop must not be allowed to keep flushing. We therefore leak
+        // the runtime instead of dropping it.
+        std::mem::forget(dude);
+    }
+    let (dude2, report) = DudeTm::recover_stm(Arc::clone(&nvm), config).unwrap();
+    assert!(report.last_tid >= 50, "all acknowledged txns recovered");
+    let heap = dude2.heap_region();
+    for (i, v) in durable_values {
+        assert_eq!(
+            nvm.read_word(heap.start() + i * 8),
+            v,
+            "acknowledged write to slot {i} lost"
+        );
+    }
+}
+
+#[test]
+fn recovery_discards_unpersisted_tail_consistently() {
+    let nvm = test_nvm(8 << 20);
+    let config = small_config();
+    {
+        let dude = DudeTm::create_stm(Arc::clone(&nvm), config);
+        let mut t = dude.register_thread();
+        // Transaction writing two slots atomically, many times.
+        for i in 0..200u64 {
+            t.run(&mut |tx| {
+                tx.write_word(slot(0), i)?;
+                tx.write_word(slot(1), i)
+            })
+            .expect_committed();
+        }
+        drop(t);
+        nvm.crash();
+        std::mem::forget(dude);
+    }
+    let (dude2, _) = DudeTm::recover_stm(Arc::clone(&nvm), config).unwrap();
+    let heap = dude2.heap_region();
+    // Atomicity across the crash: both slots hold the same value.
+    let a = nvm.read_word(heap.start());
+    let b = nvm.read_word(heap.start() + 8);
+    assert_eq!(a, b, "crash broke transaction atomicity: {a} vs {b}");
+}
+
+#[test]
+fn recovered_runtime_continues_transaction_ids() {
+    let nvm = test_nvm(8 << 20);
+    let config = small_config();
+    let last;
+    {
+        let dude = DudeTm::create_stm(Arc::clone(&nvm), config);
+        let mut t = dude.register_thread();
+        for i in 0..10u64 {
+            t.run(&mut |tx| tx.write_word(slot(i), 1)).expect_committed();
+        }
+        drop(t);
+        dude.quiesce();
+        last = dude.reproduced_id();
+        // Clean shutdown (Drop drains the pipeline and checkpoints).
+    }
+    let (dude2, report) = DudeTm::recover_stm(Arc::clone(&nvm), config).unwrap();
+    assert_eq!(report.checkpoint, last, "clean shutdown checkpointed all");
+    assert_eq!(report.replayed, 0);
+    let mut t = dude2.register_thread();
+    let out = t.run(&mut |tx| tx.write_word(slot(0), 2));
+    assert_eq!(out.info().unwrap().tid.unwrap(), last + 1);
+}
+
+#[test]
+fn recover_unformatted_device_fails() {
+    let nvm = test_nvm(8 << 20);
+    let err = DudeTm::recover_stm(nvm, small_config()).unwrap_err();
+    assert_eq!(err, dudetm::RecoverError::NotFormatted);
+}
+
+#[test]
+fn sync_mode_is_durable_at_return() {
+    let nvm = test_nvm(8 << 20);
+    let config = small_config().with_durability(DurabilityMode::Sync);
+    let dude = DudeTm::create_stm(Arc::clone(&nvm), config);
+    let mut t = dude.register_thread();
+    let out = t.run(&mut |tx| tx.write_word(slot(3), 33));
+    let tid = out.info().unwrap().tid.unwrap();
+    // DudeTM-Sync: durable before run() returns, no waiting.
+    assert!(dude.durable_id() >= tid);
+    drop(t);
+    dude.quiesce();
+    assert_eq!(nvm.read_word(dude.heap_region().start() + 24), 33);
+}
+
+#[test]
+fn sync_mode_survives_immediate_crash() {
+    let nvm = test_nvm(8 << 20);
+    let config = small_config().with_durability(DurabilityMode::Sync);
+    {
+        let dude = DudeTm::create_stm(Arc::clone(&nvm), config);
+        let mut t = dude.register_thread();
+        t.run(&mut |tx| tx.write_word(slot(7), 77)).expect_committed();
+        drop(t);
+        nvm.crash();
+        std::mem::forget(dude);
+    }
+    let (dude2, report) = DudeTm::recover_stm(Arc::clone(&nvm), config).unwrap();
+    assert_eq!(report.last_tid, 1);
+    assert_eq!(nvm.read_word(dude2.heap_region().start() + 56), 77);
+}
+
+#[test]
+fn unbounded_mode_works() {
+    let nvm = test_nvm(8 << 20);
+    let config = small_config().with_durability(DurabilityMode::AsyncUnbounded);
+    let dude = DudeTm::create_stm(Arc::clone(&nvm), config);
+    assert_eq!(TxnSystem::name(&dude), "DudeTM-Inf");
+    {
+        let mut t = dude.register_thread();
+        for i in 0..500u64 {
+            t.run(&mut |tx| tx.write_word(slot(i % 64), i)).expect_committed();
+        }
+    }
+    dude.quiesce();
+    assert_eq!(dude.pipeline_stats().txns_reproduced, 500);
+}
+
+#[test]
+fn grouped_persist_combines_and_reproduces_correctly() {
+    let nvm = test_nvm(8 << 20);
+    let config = small_config().with_grouping(10, false);
+    let dude = DudeTm::create_stm(Arc::clone(&nvm), config);
+    let heap = dude.heap_region();
+    {
+        let mut t = dude.register_thread();
+        // 100 transactions all hammering the same 4 slots: combination
+        // should crush the entry count.
+        for i in 0..100u64 {
+            t.run(&mut |tx| tx.write_word(slot(i % 4), i)).expect_committed();
+        }
+    }
+    dude.quiesce();
+    // Final values: the last write to each slot wins (tid order).
+    for s in 0..4u64 {
+        let expect = (0..100u64).filter(|i| i % 4 == s).max().unwrap();
+        assert_eq!(nvm.read_word(heap.start() + s * 8), expect);
+    }
+    let stats = dude.pipeline_stats();
+    assert!(stats.groups_persisted >= 10);
+    assert!(
+        stats.combine_savings() > 0.5,
+        "expected >50% entries saved, got {:.2}",
+        stats.combine_savings()
+    );
+}
+
+#[test]
+fn grouped_and_compressed_survives_crash() {
+    let nvm = test_nvm(8 << 20);
+    let config = small_config().with_grouping(8, true);
+    {
+        let dude = DudeTm::create_stm(Arc::clone(&nvm), config);
+        let mut t = dude.register_thread();
+        for i in 0..64u64 {
+            let out = t.run(&mut |tx| tx.write_word(slot(i), i + 1));
+            let tid = out.info().unwrap().tid.unwrap();
+            t.wait_durable(tid);
+        }
+        drop(t);
+        nvm.crash();
+        std::mem::forget(dude);
+    }
+    let (dude2, report) = DudeTm::recover_stm(Arc::clone(&nvm), config).unwrap();
+    assert_eq!(report.last_tid, 64);
+    let heap = dude2.heap_region();
+    for i in 0..64u64 {
+        assert_eq!(nvm.read_word(heap.start() + i * 8), i + 1);
+    }
+}
+
+#[test]
+fn paged_shadow_end_to_end() {
+    for mode in [PagingMode::Software, PagingMode::Hardware] {
+        let nvm = test_nvm(8 << 20);
+        // 1 MiB heap = 256 pages, but only 8 shadow frames.
+        let config = small_config().with_shadow(ShadowConfig::Paged { frames: 8, mode });
+        let dude = DudeTm::create_stm(Arc::clone(&nvm), config);
+        let heap = dude.heap_region();
+        {
+            let mut t = dude.register_thread();
+            // Write one word on each of 64 pages: forces heavy swapping.
+            for page in 0..64u64 {
+                let addr = PAddr::new(page * dudetm::PAGE_BYTES);
+                t.run(&mut |tx| tx.write_word(addr, page + 1)).expect_committed();
+            }
+            // Read them all back (re-faults evicted pages; values must come
+            // back via NVM after reproduction).
+            for page in 0..64u64 {
+                let addr = PAddr::new(page * dudetm::PAGE_BYTES);
+                let v = t.run(&mut |tx| tx.read_word(addr)).expect_committed();
+                assert_eq!(v, page + 1, "page {page} mode {mode:?}");
+            }
+        }
+        dude.quiesce();
+        for page in 0..64u64 {
+            assert_eq!(
+                nvm.read_word(heap.start() + page * dudetm::PAGE_BYTES),
+                page + 1
+            );
+        }
+        let s = dude.shadow_stats();
+        assert!(s.swap_ins >= 64, "mode {mode:?}: {s:?}");
+        assert!(s.swap_outs > 0);
+    }
+}
+
+#[test]
+fn htm_engine_end_to_end() {
+    let nvm = test_nvm(8 << 20);
+    let dude = DudeTm::create_htm(Arc::clone(&nvm), small_config());
+    let heap = dude.heap_region();
+    {
+        let mut t = dude.register_thread();
+        for i in 0..50u64 {
+            t.run(&mut |tx| {
+                let v = tx.read_word(slot(0))?;
+                tx.write_word(slot(0), v + i)
+            })
+            .expect_committed();
+        }
+    }
+    dude.quiesce();
+    assert_eq!(nvm.read_word(heap.start()), (0..50u64).sum());
+}
+
+#[test]
+fn htm_crash_recovery() {
+    let nvm = test_nvm(8 << 20);
+    let config = small_config();
+    {
+        let dude = DudeTm::create_htm(Arc::clone(&nvm), config);
+        let mut t = dude.register_thread();
+        for i in 0..20u64 {
+            let out = t.run(&mut |tx| tx.write_word(slot(i), i));
+            let tid = out.info().unwrap().tid.unwrap();
+            t.wait_durable(tid);
+        }
+        drop(t);
+        nvm.crash();
+        std::mem::forget(dude);
+    }
+    let (dude2, report) = DudeTm::recover_htm(Arc::clone(&nvm), config).unwrap();
+    assert_eq!(report.last_tid, 20);
+    let heap = dude2.heap_region();
+    for i in 0..20u64 {
+        assert_eq!(nvm.read_word(heap.start() + i * 8), i);
+    }
+}
+
+#[test]
+fn multi_thread_multi_persist_pipeline() {
+    let nvm = test_nvm(8 << 20);
+    let config = DudeTmConfig {
+        persist_threads: 2,
+        ..small_config()
+    };
+    let dude = Arc::new(DudeTm::create_stm(Arc::clone(&nvm), config));
+    std::thread::scope(|s| {
+        for t0 in 0..4u64 {
+            let dude = Arc::clone(&dude);
+            s.spawn(move || {
+                let mut t = dude.register_thread();
+                for i in 0..250u64 {
+                    t.run(&mut |tx| tx.write_word(slot(t0 * 64 + (i % 64)), i))
+                        .expect_committed();
+                }
+            });
+        }
+    });
+    dude.quiesce();
+    assert_eq!(dude.pipeline_stats().txns_reproduced, 1000);
+    assert_eq!(dude.durable_id(), 1000);
+}
+
+#[test]
+fn bounds_violation_panics() {
+    let nvm = test_nvm(8 << 20);
+    let dude = DudeTm::create_stm(nvm, small_config());
+    let mut t = dude.register_thread();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        t.run(&mut |tx| tx.read_word(PAddr::new(1 << 20)))
+    }));
+    assert!(result.is_err(), "out-of-heap access must panic");
+}

@@ -1,0 +1,450 @@
+//! Logged persistent allocator (`pmalloc`/`pfree`, §3.5).
+//!
+//! The paper keeps allocation orthogonal to the transaction design but
+//! requires that allocator state be recoverable: every `pmalloc`/`pfree` is
+//! recorded in a persistent log that recovery scans to determine which heap
+//! regions are live. This module implements a first-fit free-list allocator
+//! with exactly that log:
+//!
+//! * each operation appends a fixed-size, checksummed record and persists it
+//!   (allocation is off the measured path — the paper's evaluation moves all
+//!   allocation to program start, §5.2.2);
+//! * recovery replays valid records in order and stops at the first torn or
+//!   empty record, reconstructing the live set;
+//! * when the log fills up it is compacted into a snapshot of live
+//!   allocations.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dude_txapi::PAddr;
+use parking_lot::Mutex;
+
+use crate::{Nvm, Region};
+
+const OP_ALLOC: u64 = 1;
+const OP_FREE: u64 = 2;
+const RECORD_WORDS: u64 = 4;
+const RECORD_BYTES: u64 = RECORD_WORDS * 8;
+const MAGIC: u64 = 0xD00D_A110_CA7E_5EED;
+
+/// Errors returned by the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// No free extent large enough for the request.
+    OutOfMemory,
+    /// The freed address is not the start of a live allocation.
+    InvalidFree,
+    /// The allocation log is full even after compaction.
+    LogFull,
+}
+
+impl core::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AllocError::OutOfMemory => f.write_str("persistent heap exhausted"),
+            AllocError::InvalidFree => f.write_str("freed address is not a live allocation"),
+            AllocError::LogFull => f.write_str("allocation log full"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Live allocations reconstructed by [`PAllocator::recover`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveredHeap {
+    /// `(address, length in words)` of every live allocation, ascending.
+    pub live: Vec<(PAddr, u64)>,
+    /// Number of valid log records scanned.
+    pub records_scanned: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Free extents: start byte offset → length in bytes.
+    free: BTreeMap<u64, u64>,
+    /// Live allocations: start byte offset → length in bytes.
+    live: BTreeMap<u64, u64>,
+    /// Next free byte offset within the log region.
+    log_cursor: u64,
+}
+
+/// A recoverable persistent-heap allocator.
+///
+/// # Example
+///
+/// ```
+/// use dude_nvm::{Nvm, NvmConfig, PAllocator, Region};
+/// use std::sync::Arc;
+///
+/// let nvm = Arc::new(Nvm::new(NvmConfig::for_testing(1 << 16)));
+/// let log = Region::new(0, 4096);
+/// let heap = Region::new(4096, (1 << 16) - 4096);
+/// let alloc = PAllocator::new(Arc::clone(&nvm), heap, log);
+/// let a = alloc.alloc(4)?;
+/// nvm.write_word(a.offset(), 99);
+/// alloc.free(a)?;
+/// # Ok::<(), dude_nvm::AllocError>(())
+/// ```
+#[derive(Debug)]
+pub struct PAllocator {
+    nvm: Arc<Nvm>,
+    heap: Region,
+    log: Region,
+    inner: Mutex<Inner>,
+}
+
+impl PAllocator {
+    /// Creates a fresh allocator over `heap`, logging into `log`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log` cannot hold at least one record or regions are not
+    /// word-aligned.
+    pub fn new(nvm: Arc<Nvm>, heap: Region, log: Region) -> Self {
+        assert!(log.len() >= RECORD_BYTES, "allocation log region too small");
+        assert!(
+            heap.start().is_multiple_of(8) && log.start().is_multiple_of(8),
+            "allocator regions must be word-aligned"
+        );
+        let mut free = BTreeMap::new();
+        free.insert(heap.start(), heap.len());
+        // Zero the first record slot so recovery of a fresh heap sees an
+        // empty log.
+        nvm.write_words(log.start(), &[0; RECORD_WORDS as usize]);
+        nvm.persist(log.start(), RECORD_BYTES);
+        PAllocator {
+            nvm,
+            heap,
+            log,
+            inner: Mutex::new(Inner {
+                free,
+                live: BTreeMap::new(),
+                log_cursor: 0,
+            }),
+        }
+    }
+
+    /// Rebuilds allocator state from the persistent log after a crash.
+    ///
+    /// Returns the allocator plus the reconstructed live set. Scanning stops
+    /// at the first record with an invalid checksum (a torn append), exactly
+    /// like transaction-log recovery (§3.5).
+    pub fn recover(nvm: Arc<Nvm>, heap: Region, log: Region) -> (Self, RecoveredHeap) {
+        let mut live: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut cursor = 0u64;
+        let mut records = 0u64;
+        while cursor + RECORD_BYTES <= log.len() {
+            let mut rec = [0u64; RECORD_WORDS as usize];
+            nvm.read_words(log.start() + cursor, &mut rec);
+            let [op, addr, words, sum] = rec;
+            if op == 0 || sum != checksum(op, addr, words) {
+                break;
+            }
+            match op {
+                OP_ALLOC => {
+                    live.insert(addr, words * 8);
+                }
+                OP_FREE => {
+                    live.remove(&addr);
+                }
+                _ => break,
+            }
+            cursor += RECORD_BYTES;
+            records += 1;
+        }
+        // Free list = heap minus live extents.
+        let mut free = BTreeMap::new();
+        let mut pos = heap.start();
+        for (&start, &len) in &live {
+            if start > pos {
+                free.insert(pos, start - pos);
+            }
+            pos = start + len;
+        }
+        if pos < heap.end() {
+            free.insert(pos, heap.end() - pos);
+        }
+        let recovered = RecoveredHeap {
+            live: live
+                .iter()
+                .map(|(&a, &len)| (PAddr::new(a), len / 8))
+                .collect(),
+            records_scanned: records,
+        };
+        let alloc = PAllocator {
+            nvm,
+            heap,
+            log,
+            inner: Mutex::new(Inner {
+                free,
+                live,
+                log_cursor: cursor,
+            }),
+        };
+        (alloc, recovered)
+    }
+
+    /// Allocates `words` words and durably logs the allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfMemory`] if no extent fits; [`AllocError::LogFull`]
+    /// if the log cannot hold the record even after compaction.
+    pub fn alloc(&self, words: u64) -> Result<PAddr, AllocError> {
+        assert!(words > 0, "cannot allocate zero words");
+        let bytes = words * 8;
+        let mut inner = self.inner.lock();
+        // First fit.
+        let slot = inner
+            .free
+            .iter()
+            .find(|(_, &len)| len >= bytes)
+            .map(|(&start, &len)| (start, len))
+            .ok_or(AllocError::OutOfMemory)?;
+        let (start, len) = slot;
+        inner.free.remove(&start);
+        if len > bytes {
+            inner.free.insert(start + bytes, len - bytes);
+        }
+        inner.live.insert(start, bytes);
+        self.append(&mut inner, OP_ALLOC, start, words)?;
+        Ok(PAddr::new(start))
+    }
+
+    /// Frees a previous allocation and durably logs the free.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidFree`] if `addr` is not a live allocation start;
+    /// [`AllocError::LogFull`] if the log cannot hold the record.
+    pub fn free(&self, addr: PAddr) -> Result<(), AllocError> {
+        let mut inner = self.inner.lock();
+        let bytes = inner
+            .live
+            .remove(&addr.offset())
+            .ok_or(AllocError::InvalidFree)?;
+        Self::insert_free(&mut inner.free, addr.offset(), bytes);
+        self.append(&mut inner, OP_FREE, addr.offset(), bytes / 8)?;
+        Ok(())
+    }
+
+    /// The heap region this allocator manages.
+    pub fn heap(&self) -> Region {
+        self.heap
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.inner.lock().live.len()
+    }
+
+    /// Total free bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.inner.lock().free.values().sum()
+    }
+
+    fn insert_free(free: &mut BTreeMap<u64, u64>, start: u64, len: u64) {
+        let mut start = start;
+        let mut len = len;
+        // Coalesce with predecessor.
+        if let Some((&pstart, &plen)) = free.range(..start).next_back() {
+            if pstart + plen == start {
+                free.remove(&pstart);
+                start = pstart;
+                len += plen;
+            }
+        }
+        // Coalesce with successor.
+        if let Some(&nlen) = free.get(&(start + len)) {
+            free.remove(&(start + len));
+            len += nlen;
+        }
+        free.insert(start, len);
+    }
+
+    fn append(&self, inner: &mut Inner, op: u64, addr: u64, words: u64) -> Result<(), AllocError> {
+        if inner.log_cursor + RECORD_BYTES > self.log.len() {
+            self.compact(inner)?;
+        }
+        let off = self.log.start() + inner.log_cursor;
+        let rec = [op, addr, words, checksum(op, addr, words)];
+        self.nvm.write_words(off, &rec);
+        self.nvm.persist(off, RECORD_BYTES);
+        inner.log_cursor += RECORD_BYTES;
+        // Zero the next slot so recovery stops cleanly (unless at the end).
+        if inner.log_cursor + RECORD_BYTES <= self.log.len() {
+            self.nvm
+                .write_words(self.log.start() + inner.log_cursor, &[0; 4]);
+            self.nvm
+                .persist(self.log.start() + inner.log_cursor, RECORD_BYTES);
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log as a snapshot of live allocations.
+    fn compact(&self, inner: &mut Inner) -> Result<(), AllocError> {
+        let needed = (inner.live.len() as u64 + 1) * RECORD_BYTES;
+        if needed > self.log.len() {
+            return Err(AllocError::LogFull);
+        }
+        // Write the snapshot from the beginning. A crash mid-compaction can
+        // lose frees (records appear allocated again) but never loses live
+        // allocations, because OP_ALLOC records are rewritten before the
+        // cursor moves back. Conservative leak-on-crash is the standard
+        // allocator-log trade-off.
+        let mut cursor = 0u64;
+        for (&addr, &bytes) in &inner.live {
+            let off = self.log.start() + cursor;
+            let rec = [OP_ALLOC, addr, bytes / 8, checksum(OP_ALLOC, addr, bytes / 8)];
+            self.nvm.write_words(off, &rec);
+            cursor += RECORD_BYTES;
+        }
+        if cursor + RECORD_BYTES <= self.log.len() {
+            self.nvm.write_words(self.log.start() + cursor, &[0; 4]);
+        }
+        self.nvm.persist(self.log.start(), cursor + RECORD_BYTES);
+        inner.log_cursor = cursor;
+        Ok(())
+    }
+}
+
+fn checksum(op: u64, addr: u64, words: u64) -> u64 {
+    MAGIC ^ op.rotate_left(1) ^ addr.rotate_left(17) ^ words.rotate_left(33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NvmConfig;
+
+    fn setup(size: u64) -> (Arc<Nvm>, Region, Region) {
+        let nvm = Arc::new(Nvm::new(NvmConfig::for_testing(size)));
+        let log = Region::new(0, 1024);
+        let heap = Region::new(1024, size - 1024);
+        (nvm, heap, log)
+    }
+
+    #[test]
+    fn alloc_returns_disjoint_ranges() {
+        let (nvm, heap, log) = setup(1 << 16);
+        let a = PAllocator::new(nvm, heap, log);
+        let x = a.alloc(4).unwrap();
+        let y = a.alloc(4).unwrap();
+        assert_ne!(x, y);
+        assert!(y.offset() >= x.offset() + 32 || x.offset() >= y.offset() + 32);
+    }
+
+    #[test]
+    fn free_coalesces() {
+        let (nvm, heap, log) = setup(1 << 16);
+        let a = PAllocator::new(nvm, heap, log);
+        let before = a.free_bytes();
+        let x = a.alloc(4).unwrap();
+        let y = a.alloc(4).unwrap();
+        let z = a.alloc(4).unwrap();
+        a.free(y).unwrap();
+        a.free(x).unwrap();
+        a.free(z).unwrap();
+        assert_eq!(a.free_bytes(), before);
+        assert_eq!(a.live_count(), 0);
+        // After full coalescing a max-size allocation fits again.
+        let whole = a.alloc(before / 8).unwrap();
+        assert_eq!(whole.offset(), heap.start());
+    }
+
+    #[test]
+    fn invalid_free_rejected() {
+        let (nvm, heap, log) = setup(1 << 16);
+        let a = PAllocator::new(nvm, heap, log);
+        assert_eq!(a.free(PAddr::new(heap.start())), Err(AllocError::InvalidFree));
+        let x = a.alloc(2).unwrap();
+        assert_eq!(a.free(x.add(8)), Err(AllocError::InvalidFree));
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let (nvm, heap, log) = setup(1 << 13);
+        let a = PAllocator::new(nvm, heap, log);
+        assert_eq!(a.alloc(1 << 20), Err(AllocError::OutOfMemory));
+    }
+
+    #[test]
+    fn recovery_reconstructs_live_set() {
+        let (nvm, heap, log) = setup(1 << 16);
+        let a = PAllocator::new(Arc::clone(&nvm), heap, log);
+        let x = a.alloc(4).unwrap();
+        let y = a.alloc(8).unwrap();
+        a.free(x).unwrap();
+        drop(a);
+        nvm.crash();
+        let (a2, rec) = PAllocator::recover(Arc::clone(&nvm), heap, log);
+        assert_eq!(rec.live, vec![(y, 8)]);
+        assert_eq!(rec.records_scanned, 3);
+        // The recovered allocator does not hand out the live range again.
+        let z = a2.alloc(8).unwrap();
+        assert_ne!(z, y);
+        a2.free(y).unwrap();
+    }
+
+    #[test]
+    fn recovery_of_fresh_heap_is_empty() {
+        let (nvm, heap, log) = setup(1 << 16);
+        let _ = PAllocator::new(Arc::clone(&nvm), heap, log);
+        nvm.crash();
+        let (_, rec) = PAllocator::recover(nvm, heap, log);
+        assert!(rec.live.is_empty());
+    }
+
+    #[test]
+    fn torn_record_is_ignored() {
+        let (nvm, heap, log) = setup(1 << 16);
+        let a = PAllocator::new(Arc::clone(&nvm), heap, log);
+        let x = a.alloc(4).unwrap();
+        // Corrupt the next slot with garbage that is not fenced.
+        nvm.write_words(log.start() + RECORD_BYTES, &[OP_ALLOC, 999, 1, 0xBAD]);
+        nvm.crash();
+        let (_, rec) = PAllocator::recover(nvm, heap, log);
+        assert_eq!(rec.live, vec![(x, 4)]);
+    }
+
+    #[test]
+    fn compaction_allows_unbounded_ops() {
+        let (nvm, heap, log) = setup(1 << 16);
+        // 1024-byte log = 32 records; run many more alloc/free pairs.
+        let a = PAllocator::new(Arc::clone(&nvm), heap, log);
+        for _ in 0..200 {
+            let x = a.alloc(2).unwrap();
+            a.free(x).unwrap();
+        }
+        let keep = a.alloc(2).unwrap();
+        nvm.crash();
+        let (_, rec) = PAllocator::recover(nvm, heap, log);
+        assert_eq!(rec.live, vec![(keep, 2)]);
+    }
+
+    #[test]
+    fn recovered_free_list_excludes_live() {
+        let (nvm, heap, log) = setup(1 << 16);
+        let a = PAllocator::new(Arc::clone(&nvm), heap, log);
+        let live: Vec<_> = (0..10).map(|_| a.alloc(3).unwrap()).collect();
+        for (i, x) in live.iter().enumerate() {
+            if i % 2 == 0 {
+                a.free(*x).unwrap();
+            }
+        }
+        nvm.crash();
+        let (a2, rec) = PAllocator::recover(nvm, heap, log);
+        assert_eq!(rec.live.len(), 5);
+        // Allocate a lot; none may overlap a live extent.
+        for _ in 0..20 {
+            let n = a2.alloc(3).unwrap();
+            for &(addr, words) in &rec.live {
+                let (ns, ne) = (n.offset(), n.offset() + 24);
+                let (ls, le) = (addr.offset(), addr.offset() + words * 8);
+                assert!(ne <= ls || ns >= le, "overlap {n} vs {addr}");
+            }
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! The emulated NVM device.
+//!
+//! Stores are word-granular and land in the device's *volatile layer* (the
+//! stand-in for CPU caches plus the memory controller's buffers). Durability
+//! requires an explicit [`Nvm::flush`] of the written range followed by an
+//! [`Nvm::fence`] — mirroring `CLWB`/`SFENCE` on real hardware (§2.2). A
+//! simulated [`Nvm::crash`] reverts every non-durable word, which is what
+//! lets the test suite *observe* crash consistency instead of assuming it.
+//!
+//! Words are `AtomicU64` with relaxed ordering: the device never provides
+//! inter-thread synchronization (that is the TM's job); atomics only make
+//! concurrent word access well-defined in safe Rust.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::stats::{NvmStats, StatsSnapshot};
+use crate::timing::{TimingConfig, TimingModel};
+use crate::CACHE_LINE;
+
+/// Configuration for an emulated NVM device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NvmConfig {
+    /// Device capacity in bytes; must be a positive multiple of 8.
+    pub size_bytes: u64,
+    /// Persistence-cost model.
+    pub timing: TimingConfig,
+    /// When `true`, the device keeps a durable image and dirty-word tracking
+    /// so [`Nvm::crash`] works. Costs 2× memory and a lock per store; meant
+    /// for crash-consistency tests, not throughput runs.
+    pub crash_tracking: bool,
+    /// When `true`, the device counts how many times each cache line is
+    /// flushed — the cell-wear statistic behind the paper's endurance
+    /// motivation for log combination (§1, §3.3). One `u32` per line.
+    pub wear_tracking: bool,
+}
+
+impl NvmConfig {
+    /// Functional-testing configuration: no delays, crash tracking on.
+    pub fn for_testing(size_bytes: u64) -> Self {
+        NvmConfig {
+            size_bytes,
+            timing: TimingConfig::disabled(),
+            crash_tracking: true,
+            wear_tracking: false,
+        }
+    }
+
+    /// Benchmark configuration: the given timing model, crash tracking off.
+    pub fn for_benchmark(size_bytes: u64, timing: TimingConfig) -> Self {
+        NvmConfig {
+            size_bytes,
+            timing,
+            crash_tracking: false,
+            wear_tracking: false,
+        }
+    }
+
+    /// Enables per-line wear accounting (endurance experiments).
+    #[must_use]
+    pub fn with_wear_tracking(mut self) -> Self {
+        self.wear_tracking = true;
+        self
+    }
+}
+
+/// Per-line wear summary (see [`NvmConfig::with_wear_tracking`]).
+///
+/// Each count is one flush of that 64-byte line — the unit of physical cell
+/// wear on a real device. The paper motivates log combination by NVM's
+/// limited endurance; [`WearSummary::max_line_writes`] is the hot-spot
+/// metric combination should reduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WearSummary {
+    /// Flushes of the most-written line.
+    pub max_line_writes: u32,
+    /// Total line flushes across the device.
+    pub total_line_writes: u64,
+    /// Distinct lines flushed at least once.
+    pub lines_touched: u64,
+}
+
+/// State kept only when crash tracking is enabled.
+#[derive(Debug)]
+struct CrashState {
+    /// The durable image: what survives a crash.
+    durable: Box<[AtomicU64]>,
+    /// Word indices written since they were last flushed.
+    dirty: Mutex<HashSet<u64>>,
+    /// Word indices flushed but not yet fenced. A real `CLWB` without a
+    /// following `SFENCE` may or may not have reached the device; the strict
+    /// [`Nvm::crash`] drops these, the lenient variant keeps them.
+    pending: Mutex<HashSet<u64>>,
+}
+
+/// An emulated byte-addressable persistent memory device.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Nvm {
+    words: Box<[AtomicU64]>,
+    crash_state: Option<CrashState>,
+    timing: TimingModel,
+    stats: NvmStats,
+    /// Bytes flushed since the last fence; the fence's modeled cost covers
+    /// exactly these bytes.
+    unfenced_bytes: AtomicU64,
+    /// Per-cache-line flush counts (wear), when enabled.
+    wear: Option<Box<[std::sync::atomic::AtomicU32]>>,
+    config: NvmConfig,
+}
+
+fn alloc_words(n: u64) -> Box<[AtomicU64]> {
+    (0..n).map(|_| AtomicU64::new(0)).collect()
+}
+
+impl Nvm {
+    /// Creates a zero-filled device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is zero or not a multiple of 8.
+    pub fn new(config: NvmConfig) -> Self {
+        assert!(
+            config.size_bytes > 0 && config.size_bytes.is_multiple_of(8),
+            "NVM size must be a positive multiple of 8, got {}",
+            config.size_bytes
+        );
+        let nwords = config.size_bytes / 8;
+        let crash_state = config.crash_tracking.then(|| CrashState {
+            durable: alloc_words(nwords),
+            dirty: Mutex::new(HashSet::new()),
+            pending: Mutex::new(HashSet::new()),
+        });
+        let wear = config.wear_tracking.then(|| {
+            (0..config.size_bytes.div_ceil(CACHE_LINE))
+                .map(|_| std::sync::atomic::AtomicU32::new(0))
+                .collect()
+        });
+        Nvm {
+            words: alloc_words(nwords),
+            crash_state,
+            timing: TimingModel::new(config.timing),
+            stats: NvmStats::default(),
+            unfenced_bytes: AtomicU64::new(0),
+            wear,
+            config,
+        }
+    }
+
+    /// Zeroes all wear counters (e.g. after a load phase, so a measurement
+    /// phase is accounted alone). No-op when wear tracking is off.
+    pub fn wear_reset(&self) {
+        if let Some(wear) = &self.wear {
+            for w in wear.iter() {
+                w.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Summarizes per-line wear (flush counts). Returns `None` unless the
+    /// device was built with [`NvmConfig::with_wear_tracking`].
+    pub fn wear_summary(&self) -> Option<WearSummary> {
+        let wear = self.wear.as_ref()?;
+        let mut max = 0u32;
+        let mut total = 0u64;
+        let mut touched = 0u64;
+        for w in wear.iter() {
+            let v = w.load(Ordering::Relaxed);
+            if v > 0 {
+                touched += 1;
+                total += u64::from(v);
+                max = max.max(v);
+            }
+        }
+        Some(WearSummary {
+            max_line_writes: max,
+            total_line_writes: total,
+            lines_touched: touched,
+        })
+    }
+
+    /// Device capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.config.size_bytes
+    }
+
+    /// The configuration this device was built with.
+    pub fn config(&self) -> &NvmConfig {
+        &self.config
+    }
+
+    /// The device's timing model.
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// Point-in-time copy of the device's write statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    #[inline]
+    fn word_index(&self, offset: u64) -> u64 {
+        assert!(
+            offset.is_multiple_of(8),
+            "word access must be 8-byte aligned, got offset {offset}"
+        );
+        let idx = offset / 8;
+        assert!(
+            idx < self.words.len() as u64,
+            "offset {offset} out of device bounds ({} bytes)",
+            self.config.size_bytes
+        );
+        idx
+    }
+
+    /// Reads the word at byte `offset` from the volatile layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is unaligned or out of bounds.
+    #[inline]
+    pub fn read_word(&self, offset: u64) -> u64 {
+        let idx = self.word_index(offset);
+        self.words[idx as usize].load(Ordering::Relaxed)
+    }
+
+    /// Stores `val` at byte `offset`. The store is *not* durable until the
+    /// covering cache line is flushed and fenced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is unaligned or out of bounds.
+    #[inline]
+    pub fn write_word(&self, offset: u64, val: u64) {
+        let idx = self.word_index(offset);
+        self.words[idx as usize].store(val, Ordering::Relaxed);
+        self.stats.add_words(1);
+        if let Some(cs) = &self.crash_state {
+            cs.dirty.lock().insert(idx);
+        }
+    }
+
+    /// Reads `out.len()` consecutive words starting at byte `offset`.
+    pub fn read_words(&self, offset: u64, out: &mut [u64]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.read_word(offset + 8 * i as u64);
+        }
+    }
+
+    /// Writes `vals` as consecutive words starting at byte `offset`.
+    pub fn write_words(&self, offset: u64, vals: &[u64]) {
+        for (i, v) in vals.iter().enumerate() {
+            self.write_word(offset + 8 * i as u64, *v);
+        }
+    }
+
+    /// Flushes the cache lines covering `[offset, offset + len)` toward the
+    /// device (emulated `CLWB`). Durability still requires [`Nvm::fence`].
+    pub fn flush(&self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first_line = offset / CACHE_LINE;
+        let last_line = (offset + len - 1) / CACHE_LINE;
+        let bytes = (last_line - first_line + 1) * CACHE_LINE;
+        self.stats.add_flush(bytes);
+        self.unfenced_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(wear) = &self.wear {
+            for line in first_line..=last_line {
+                wear[line as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(cs) = &self.crash_state {
+            let mut dirty = cs.dirty.lock();
+            let mut pending = cs.pending.lock();
+            let first_word = first_line * (CACHE_LINE / 8);
+            let last_word = (last_line + 1) * (CACHE_LINE / 8);
+            for idx in first_word..last_word.min(self.words.len() as u64) {
+                if dirty.remove(&idx) {
+                    pending.insert(idx);
+                }
+            }
+        }
+    }
+
+    /// Orders all previous flushes (emulated `SFENCE`); on return everything
+    /// flushed so far is durable. The modeled cost is
+    /// `max(latency, unfenced_bytes / bandwidth)` per §5.1.
+    pub fn fence(&self) {
+        let bytes = self.unfenced_bytes.swap(0, Ordering::Relaxed);
+        self.stats.add_fence();
+        self.stats.add_persist(bytes);
+        self.timing.delay_persist(bytes.max(1));
+        if let Some(cs) = &self.crash_state {
+            let mut pending = cs.pending.lock();
+            for idx in pending.drain() {
+                let v = self.words[idx as usize].load(Ordering::Relaxed);
+                cs.durable[idx as usize].store(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Flush + fence over one range: the paper's *persist* operation.
+    pub fn persist(&self, offset: u64, len: u64) {
+        self.flush(offset, len);
+        self.fence();
+    }
+
+    /// Simulates a power failure: every word that was not durable (dirty or
+    /// flushed-but-unfenced) reverts to its last durable value.
+    ///
+    /// A real power failure stops all execution at the same instant; this
+    /// emulated one cannot stop other threads. Outcomes observed by threads
+    /// that keep using the device *after* `crash` returns (including
+    /// durability acknowledgements) belong to a timeline the hardware would
+    /// never produce — crash-consistency tests should quiesce mutators
+    /// before crashing, or ignore post-crash observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device was created without crash tracking.
+    pub fn crash(&self) {
+        self.crash_impl(false);
+    }
+
+    /// Like [`Nvm::crash`], but flushed-yet-unfenced lines survive — the
+    /// optimistic outcome real hardware may also produce. Useful for
+    /// exploring both sides of the `CLWB`/`SFENCE` window in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device was created without crash tracking.
+    pub fn crash_lenient(&self) {
+        self.crash_impl(true);
+    }
+
+    fn crash_impl(&self, keep_pending: bool) {
+        let cs = self
+            .crash_state
+            .as_ref()
+            .expect("crash() requires NvmConfig::crash_tracking");
+        let mut dirty = cs.dirty.lock();
+        let mut pending = cs.pending.lock();
+        if keep_pending {
+            for idx in pending.drain() {
+                let v = self.words[idx as usize].load(Ordering::Relaxed);
+                cs.durable[idx as usize].store(v, Ordering::Relaxed);
+            }
+        }
+        for idx in dirty.drain().chain(pending.drain()) {
+            let v = cs.durable[idx as usize].load(Ordering::Relaxed);
+            self.words[idx as usize].store(v, Ordering::Relaxed);
+        }
+        self.unfenced_bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of words that are currently *not* durable (diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device was created without crash tracking.
+    pub fn volatile_word_count(&self) -> usize {
+        let cs = self
+            .crash_state
+            .as_ref()
+            .expect("volatile_word_count() requires NvmConfig::crash_tracking");
+        cs.dirty.lock().len() + cs.pending.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Nvm {
+        Nvm::new(NvmConfig::for_testing(4096))
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let n = dev();
+        n.write_word(0, 7);
+        n.write_word(4088, 9);
+        assert_eq!(n.read_word(0), 7);
+        assert_eq!(n.read_word(4088), 9);
+    }
+
+    #[test]
+    fn multiword_io() {
+        let n = dev();
+        n.write_words(64, &[1, 2, 3]);
+        let mut out = [0u64; 3];
+        n.read_words(64, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_access_panics() {
+        dev().read_word(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of device bounds")]
+    fn out_of_bounds_panics() {
+        dev().write_word(4096, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn bad_size_panics() {
+        Nvm::new(NvmConfig::for_testing(12));
+    }
+
+    #[test]
+    fn crash_loses_unflushed_store() {
+        let n = dev();
+        n.write_word(0, 42);
+        n.crash();
+        assert_eq!(n.read_word(0), 0);
+    }
+
+    #[test]
+    fn crash_keeps_persisted_store() {
+        let n = dev();
+        n.write_word(0, 42);
+        n.persist(0, 8);
+        n.write_word(8, 43); // not persisted
+        n.crash();
+        assert_eq!(n.read_word(0), 42);
+        assert_eq!(n.read_word(8), 0);
+    }
+
+    #[test]
+    fn strict_crash_drops_flushed_but_unfenced() {
+        let n = dev();
+        n.write_word(0, 42);
+        n.flush(0, 8);
+        n.crash();
+        assert_eq!(n.read_word(0), 0);
+    }
+
+    #[test]
+    fn lenient_crash_keeps_flushed_but_unfenced() {
+        let n = dev();
+        n.write_word(0, 42);
+        n.flush(0, 8);
+        n.crash_lenient();
+        assert_eq!(n.read_word(0), 42);
+    }
+
+    #[test]
+    fn overwrite_after_persist_reverts_to_persisted_value() {
+        let n = dev();
+        n.write_word(0, 1);
+        n.persist(0, 8);
+        n.write_word(0, 2);
+        n.crash();
+        assert_eq!(n.read_word(0), 1);
+    }
+
+    #[test]
+    fn flush_covers_whole_cache_lines() {
+        let n = dev();
+        // Two words on the same 64-byte line: flushing one flushes both.
+        n.write_word(0, 1);
+        n.write_word(56, 2);
+        n.persist(0, 8);
+        n.crash();
+        assert_eq!(n.read_word(0), 1);
+        assert_eq!(n.read_word(56), 2);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let n = dev();
+        n.write_word(0, 1);
+        n.write_word(8, 2);
+        n.persist(0, 16);
+        let s = n.stats();
+        assert_eq!(s.words_written, 2);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.persist_barriers, 1);
+        assert_eq!(s.bytes_flushed, 64); // one cache line
+    }
+
+    #[test]
+    fn volatile_word_count_tracks_pending_durability() {
+        let n = dev();
+        assert_eq!(n.volatile_word_count(), 0);
+        n.write_word(0, 1);
+        assert_eq!(n.volatile_word_count(), 1);
+        n.persist(0, 8);
+        assert_eq!(n.volatile_word_count(), 0);
+    }
+
+    #[test]
+    fn crash_resets_unfenced_byte_accounting() {
+        let n = dev();
+        n.write_word(0, 1);
+        n.flush(0, 8);
+        n.crash();
+        // A fence after crash covers zero new bytes.
+        n.fence();
+        assert_eq!(n.read_word(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash_tracking")]
+    fn crash_requires_tracking() {
+        let n = Nvm::new(NvmConfig::for_benchmark(4096, TimingConfig::disabled()));
+        n.crash();
+    }
+
+    #[test]
+    fn wear_tracking_counts_line_flushes() {
+        let n = Nvm::new(NvmConfig::for_testing(4096).with_wear_tracking());
+        n.write_word(0, 1);
+        n.persist(0, 8);
+        n.write_word(8, 2); // same line
+        n.persist(8, 8);
+        n.write_word(256, 3); // different line
+        n.persist(256, 8);
+        let w = n.wear_summary().expect("wear enabled");
+        assert_eq!(w.max_line_writes, 2);
+        assert_eq!(w.lines_touched, 2);
+        assert_eq!(w.total_line_writes, 3);
+    }
+
+    #[test]
+    fn wear_reset_zeroes_counters() {
+        let n = Nvm::new(NvmConfig::for_testing(4096).with_wear_tracking());
+        n.write_word(0, 1);
+        n.persist(0, 8);
+        n.wear_reset();
+        let w = n.wear_summary().unwrap();
+        assert_eq!(w, WearSummary::default());
+    }
+
+    #[test]
+    fn wear_summary_absent_when_disabled() {
+        assert!(dev().wear_summary().is_none());
+    }
+
+    #[test]
+    fn benchmark_mode_skips_tracking() {
+        let n = Nvm::new(NvmConfig::for_benchmark(4096, TimingConfig::disabled()));
+        n.write_word(0, 5);
+        n.persist(0, 8);
+        assert_eq!(n.read_word(0), 5);
+        assert_eq!(n.stats().persist_barriers, 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Typed sub-ranges of the emulated device.
+
+use dude_txapi::PAddr;
+
+/// A contiguous byte range of the NVM device.
+///
+/// Regions partition the device into metadata, per-thread log and heap areas
+/// (Figure 1's "persistent log region" and "persistent data"). They carry no
+/// ownership; they are layout bookkeeping with bounds-checked splitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    start: u64,
+    len: u64,
+}
+
+impl Region {
+    /// Creates a region covering `[start, start + len)`.
+    pub const fn new(start: u64, len: u64) -> Self {
+        Region { start, len }
+    }
+
+    /// First byte offset of the region.
+    pub const fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Length of the region in bytes.
+    pub const fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` if the region is empty.
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One past the last byte offset.
+    pub const fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Address of the byte at `offset` within the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= len`.
+    pub fn addr(&self, offset: u64) -> PAddr {
+        assert!(offset < self.len, "offset {offset} out of region {self:?}");
+        PAddr::new(self.start + offset)
+    }
+
+    /// `true` if `[addr, addr + bytes)` lies entirely within the region.
+    pub fn contains(&self, addr: PAddr, bytes: u64) -> bool {
+        let off = addr.offset();
+        off >= self.start && off + bytes <= self.end()
+    }
+
+    /// Splits off the first `len` bytes, returning `(head, rest)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()`.
+    #[must_use]
+    pub fn split(&self, len: u64) -> (Region, Region) {
+        assert!(len <= self.len, "cannot split {len} bytes off {self:?}");
+        (
+            Region::new(self.start, len),
+            Region::new(self.start + len, self.len - len),
+        )
+    }
+
+    /// Splits the region into `n` equal chunks (remainder goes unused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn split_even(&self, n: u64) -> Vec<Region> {
+        assert!(n > 0, "cannot split a region into zero chunks");
+        let chunk = self.len / n;
+        (0..n)
+            .map(|i| Region::new(self.start + i * chunk, chunk))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_partitions() {
+        let r = Region::new(100, 50);
+        let (a, b) = r.split(20);
+        assert_eq!(a, Region::new(100, 20));
+        assert_eq!(b, Region::new(120, 30));
+        assert_eq!(r.end(), 150);
+    }
+
+    #[test]
+    fn split_even_covers_chunks() {
+        let r = Region::new(0, 100);
+        let parts = r.split_even(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], Region::new(0, 33));
+        assert_eq!(parts[2], Region::new(66, 33));
+    }
+
+    #[test]
+    fn contains_and_addr() {
+        let r = Region::new(64, 64);
+        assert!(r.contains(PAddr::new(64), 64));
+        assert!(!r.contains(PAddr::new(64), 65));
+        assert!(!r.contains(PAddr::new(0), 8));
+        assert_eq!(r.addr(8), PAddr::new(72));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of region")]
+    fn addr_bounds_checked() {
+        Region::new(0, 8).addr(8);
+    }
+
+    #[test]
+    fn empty_region() {
+        assert!(Region::new(10, 0).is_empty());
+        assert!(!Region::new(10, 1).is_empty());
+    }
+}

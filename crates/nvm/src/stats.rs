@@ -1,0 +1,110 @@
+//! NVM write statistics.
+//!
+//! Table 1 of the paper reports memory writes per second and per transaction;
+//! Figure 3 reports NVM write traffic saved by log combination and
+//! compression. Both are derived from the counters here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters maintained by the emulated device.
+///
+/// All counters use relaxed atomics; they are statistics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct NvmStats {
+    /// Number of word stores issued to the device (volatile layer).
+    pub(crate) words_written: AtomicU64,
+    /// Bytes covered by `flush` calls.
+    pub(crate) bytes_flushed: AtomicU64,
+    /// Number of `fence` calls.
+    pub(crate) fences: AtomicU64,
+    /// Number of `persist` barriers (flush + fence pairs issued together).
+    pub(crate) persist_barriers: AtomicU64,
+    /// Bytes covered by `persist` barriers.
+    pub(crate) bytes_persisted: AtomicU64,
+}
+
+impl NvmStats {
+    pub(crate) fn add_words(&self, n: u64) {
+        self.words_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_flush(&self, bytes: u64) {
+        self.bytes_flushed.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_fence(&self) {
+        self.fences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_persist(&self, bytes: u64) {
+        self.persist_barriers.fetch_add(1, Ordering::Relaxed);
+        self.bytes_persisted.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            words_written: self.words_written.load(Ordering::Relaxed),
+            bytes_flushed: self.bytes_flushed.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            persist_barriers: self.persist_barriers.load(Ordering::Relaxed),
+            bytes_persisted: self.bytes_persisted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`NvmStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Word stores issued to the device.
+    pub words_written: u64,
+    /// Bytes covered by `flush` calls.
+    pub bytes_flushed: u64,
+    /// `fence` calls.
+    pub fences: u64,
+    /// `persist` barriers.
+    pub persist_barriers: u64,
+    /// Bytes covered by `persist` barriers.
+    pub bytes_persisted: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter deltas since an earlier snapshot.
+    #[must_use]
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            words_written: self.words_written - earlier.words_written,
+            bytes_flushed: self.bytes_flushed - earlier.bytes_flushed,
+            fences: self.fences - earlier.fences,
+            persist_barriers: self.persist_barriers - earlier.persist_barriers,
+            bytes_persisted: self.bytes_persisted - earlier.bytes_persisted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_delta() {
+        let s = NvmStats::default();
+        s.add_words(3);
+        s.add_flush(64);
+        s.add_fence();
+        s.add_persist(128);
+        let a = s.snapshot();
+        assert_eq!(a.words_written, 3);
+        assert_eq!(a.bytes_flushed, 64);
+        assert_eq!(a.fences, 1);
+        assert_eq!(a.persist_barriers, 1);
+        assert_eq!(a.bytes_persisted, 128);
+
+        s.add_words(2);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.words_written, 2);
+        assert_eq!(d.fences, 0);
+    }
+}

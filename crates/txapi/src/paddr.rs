@@ -1,0 +1,129 @@
+//! Persistent addresses.
+
+/// A byte offset into the persistent heap.
+///
+/// Persistent memory is addressed by offset rather than by raw pointer: the
+/// same `PAddr` resolves to the NVM image (in the Reproduce step and the
+/// baselines) or to the shadow DRAM mirror (in the Perform step), which is
+/// exactly the paper's constant-offset shadow mapping (§3.1, Figure 1).
+///
+/// Word-granular operations require 8-byte alignment; constructors accept any
+/// offset so byte-level layouts are expressible, and alignment is checked by
+/// the memory implementations.
+///
+/// # Example
+///
+/// ```
+/// use dude_txapi::PAddr;
+///
+/// let base = PAddr::new(4096);
+/// assert_eq!(base.add_words(2).offset(), 4096 + 16);
+/// assert_eq!(base.word_index(), 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(u64);
+
+/// Number of bytes in a transactional word.
+pub const WORD_BYTES: u64 = 8;
+
+impl PAddr {
+    /// The null address (offset zero). By convention the first heap word is
+    /// reserved so `PAddr::NULL` never refers to live data.
+    pub const NULL: PAddr = PAddr(0);
+
+    /// Creates an address from a byte offset.
+    pub const fn new(offset: u64) -> Self {
+        PAddr(offset)
+    }
+
+    /// Creates an address from a word index (`index * 8` bytes).
+    pub const fn from_word_index(index: u64) -> Self {
+        PAddr(index * WORD_BYTES)
+    }
+
+    /// Byte offset of this address.
+    pub const fn offset(self) -> u64 {
+        self.0
+    }
+
+    /// Word index of this address (`offset / 8`).
+    pub const fn word_index(self) -> u64 {
+        self.0 / WORD_BYTES
+    }
+
+    /// `true` if this address is 8-byte aligned.
+    pub const fn is_word_aligned(self) -> bool {
+        self.0.is_multiple_of(WORD_BYTES)
+    }
+
+    /// Address `bytes` bytes past `self`.
+    #[must_use]
+    pub const fn add(self, bytes: u64) -> Self {
+        PAddr(self.0 + bytes)
+    }
+
+    /// Address `words` words (8 bytes each) past `self`.
+    #[must_use]
+    pub const fn add_words(self, words: u64) -> Self {
+        PAddr(self.0 + words * WORD_BYTES)
+    }
+
+    /// `true` if this is the null address.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl core::fmt::Display for PAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "p{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PAddr {
+    fn from(offset: u64) -> Self {
+        PAddr(offset)
+    }
+}
+
+impl From<PAddr> for u64 {
+    fn from(addr: PAddr) -> Self {
+        addr.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = PAddr::new(16);
+        assert_eq!(a.add(8), PAddr::new(24));
+        assert_eq!(a.add_words(3), PAddr::new(40));
+        assert_eq!(a.word_index(), 2);
+        assert_eq!(PAddr::from_word_index(2), a);
+    }
+
+    #[test]
+    fn alignment_and_null() {
+        assert!(PAddr::new(0).is_null());
+        assert!(PAddr::NULL.is_null());
+        assert!(!PAddr::new(8).is_null());
+        assert!(PAddr::new(8).is_word_aligned());
+        assert!(!PAddr::new(9).is_word_aligned());
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let a: PAddr = 32u64.into();
+        let back: u64 = a.into();
+        assert_eq!(back, 32);
+        assert_eq!(a.to_string(), "p0x20");
+    }
+
+    #[test]
+    fn ordering_follows_offset() {
+        assert!(PAddr::new(8) < PAddr::new(16));
+    }
+}

@@ -1,0 +1,157 @@
+//! The bank-transfer micro-benchmark (paper Algorithm 1).
+//!
+//! Classic TM smoke workload: accounts hold balances; a transaction moves
+//! one unit between two random accounts, aborting (user abort = the paper's
+//! `dtmAbort`) when the source is empty. The invariant — total balance is
+//! conserved — is what the crash-consistency tests check end to end.
+
+use dude_txapi::{PAddr, TxAbort, TxResult, Txn};
+
+use crate::driver::Workload;
+use crate::rng::Rng;
+
+/// Descriptor for an array of accounts in the persistent heap.
+#[derive(Debug, Clone, Copy)]
+pub struct Bank {
+    base: PAddr,
+    accounts: u64,
+    initial_balance: u64,
+}
+
+impl Bank {
+    /// Creates a descriptor for `accounts` accounts at `base`, each seeded
+    /// with `initial_balance` by the load phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accounts < 2` or `base` is unaligned.
+    pub fn new(base: PAddr, accounts: u64, initial_balance: u64) -> Self {
+        assert!(accounts >= 2);
+        assert!(base.is_word_aligned());
+        Bank {
+            base,
+            accounts,
+            initial_balance,
+        }
+    }
+
+    /// Number of accounts.
+    pub fn accounts(&self) -> u64 {
+        self.accounts
+    }
+
+    fn addr(&self, i: u64) -> PAddr {
+        self.base.add_words(i)
+    }
+
+    /// Transfers `amount` from `src` to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// [`TxAbort::User`] if the source balance is insufficient; TM
+    /// conflicts propagate.
+    pub fn transfer(
+        &self,
+        tx: &mut dyn Txn,
+        src: u64,
+        dst: u64,
+        amount: u64,
+    ) -> TxResult<()> {
+        tx.declare_write(self.addr(src), 1)?;
+        tx.declare_write(self.addr(dst), 1)?;
+        let s = tx.read_word(self.addr(src))?;
+        if s < amount {
+            return Err(TxAbort::User);
+        }
+        tx.write_word(self.addr(src), s - amount)?;
+        let d = tx.read_word(self.addr(dst))?;
+        tx.write_word(self.addr(dst), d + amount)?;
+        Ok(())
+    }
+
+    /// Reads the total balance (one big read-only transaction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts.
+    pub fn total(&self, tx: &mut dyn Txn) -> TxResult<u64> {
+        let mut sum = 0u64;
+        for i in 0..self.accounts {
+            sum += tx.read_word(self.addr(i))?;
+        }
+        Ok(sum)
+    }
+}
+
+impl Workload for Bank {
+    fn name(&self) -> String {
+        "Bank".into()
+    }
+
+    fn load_steps(&self) -> u64 {
+        self.accounts.div_ceil(64)
+    }
+
+    fn load_step(&self, tx: &mut dyn Txn, step: u64) -> TxResult<()> {
+        let lo = step * 64;
+        let hi = (lo + 64).min(self.accounts);
+        for i in lo..hi {
+            tx.declare_write(self.addr(i), 1)?;
+            tx.write_word(self.addr(i), self.initial_balance)?;
+        }
+        Ok(())
+    }
+
+    fn op(&self, tx: &mut dyn Txn, rng: &mut Rng, _worker: usize) -> TxResult<()> {
+        let src = rng.below(self.accounts);
+        let mut dst = rng.below(self.accounts);
+        if dst == src {
+            dst = (dst + 1) % self.accounts;
+        }
+        self.transfer(tx, src, dst, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct MapTxn(HashMap<u64, u64>);
+
+    impl Txn for MapTxn {
+        fn read_word(&mut self, addr: PAddr) -> TxResult<u64> {
+            Ok(*self.0.get(&addr.offset()).unwrap_or(&0))
+        }
+        fn write_word(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+            self.0.insert(addr.offset(), val);
+            Ok(())
+        }
+    }
+
+    fn load_all(bank: &Bank, tx: &mut MapTxn) {
+        for step in 0..bank.load_steps() {
+            bank.load_step(tx, step).unwrap();
+        }
+    }
+
+    #[test]
+    fn transfer_moves_money() {
+        let bank = Bank::new(PAddr::new(0), 4, 100);
+        let mut tx = MapTxn::default();
+        load_all(&bank, &mut tx);
+        bank.transfer(&mut tx, 0, 1, 30).unwrap();
+        assert_eq!(tx.read_word(PAddr::new(0)).unwrap(), 70);
+        assert_eq!(tx.read_word(PAddr::new(8)).unwrap(), 130);
+        assert_eq!(bank.total(&mut tx).unwrap(), 400);
+    }
+
+    #[test]
+    fn insufficient_funds_user_aborts() {
+        let bank = Bank::new(PAddr::new(0), 2, 5);
+        let mut tx = MapTxn::default();
+        load_all(&bank, &mut tx);
+        assert_eq!(bank.transfer(&mut tx, 0, 1, 6), Err(TxAbort::User));
+    }
+}

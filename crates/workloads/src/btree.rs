@@ -1,0 +1,612 @@
+//! The B+-tree micro-benchmark structure (§5.1).
+//!
+//! A transactional B+-tree mapping 64-bit keys to 64-bit values, used both
+//! as a micro-benchmark (random inserts) and as the ordered index for the
+//! tree-based TPC-C, TATP and YCSB variants. Nodes live in a bump-allocated
+//! arena inside the persistent heap; the bump cursor is itself a
+//! transactional word, so node allocation participates in transaction
+//! rollback and recovery for free.
+//!
+//! The tree does not support the NVML-like static-transaction baseline
+//! (splits write nodes whose addresses are unknown up front) — matching the
+//! paper, which runs only hash-based workloads on NVML because "the complex
+//! changes leading to a high performance lock-based concurrent B+-tree
+//! would make the comparison unfair".
+
+use dude_txapi::{PAddr, TxResult, Txn};
+
+/// Maximum keys per node.
+const MAX_KEYS: usize = 8;
+/// Words per node: header + keys + (children | values + next).
+const NODE_WORDS: u64 = 1 + MAX_KEYS as u64 + MAX_KEYS as u64 + 1;
+
+const LEAF_BIT: u64 = 1 << 63;
+
+/// Result of a recursive insert.
+enum Ins {
+    /// No structural change; previous value if the key existed.
+    Done(Option<u64>),
+    /// The child split: `(separator, new right node)`.
+    Split(u64, PAddr),
+}
+
+/// A transactional B+-tree descriptor.
+///
+/// `meta` points at two reserved words: the root pointer and the node-arena
+/// bump cursor. The arena follows immediately unless placed elsewhere.
+#[derive(Debug, Clone, Copy)]
+pub struct BTree {
+    meta: PAddr,
+    arena: PAddr,
+    arena_nodes: u64,
+}
+
+impl BTree {
+    /// Words of heap needed for a tree of at most `nodes` nodes (including
+    /// the two metadata words).
+    pub fn words_needed(nodes: u64) -> u64 {
+        2 + nodes * NODE_WORDS
+    }
+
+    /// Creates a descriptor with metadata at `base` and the node arena
+    /// right after it. The heap words must be zeroed (fresh) — an empty
+    /// tree is all zeroes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is unaligned or `nodes` is zero.
+    pub fn new(base: PAddr, nodes: u64) -> Self {
+        assert!(base.is_word_aligned());
+        assert!(nodes > 0);
+        BTree {
+            meta: base,
+            arena: base.add_words(2),
+            arena_nodes: nodes,
+        }
+    }
+
+    fn root_ptr(&self) -> PAddr {
+        self.meta
+    }
+
+    fn bump_ptr(&self) -> PAddr {
+        self.meta.add_words(1)
+    }
+
+    /// Allocates a node transactionally; returns its base address.
+    fn alloc_node(&self, tx: &mut dyn Txn) -> TxResult<PAddr> {
+        let n = tx.read_word(self.bump_ptr())?;
+        assert!(
+            n < self.arena_nodes,
+            "B+-tree arena exhausted ({} nodes)",
+            self.arena_nodes
+        );
+        tx.write_word(self.bump_ptr(), n + 1)?;
+        Ok(self.arena.add_words(n * NODE_WORDS))
+    }
+
+    // Node field accessors. `node` is the node's base address.
+    fn header(&self, tx: &mut dyn Txn, node: PAddr) -> TxResult<(bool, usize)> {
+        let h = tx.read_word(node)?;
+        Ok((h & LEAF_BIT != 0, (h & !LEAF_BIT) as usize))
+    }
+
+    fn set_header(&self, tx: &mut dyn Txn, node: PAddr, leaf: bool, count: usize) -> TxResult<()> {
+        tx.write_word(node, if leaf { LEAF_BIT } else { 0 } | count as u64)
+    }
+
+    fn key_addr(node: PAddr, i: usize) -> PAddr {
+        node.add_words(1 + i as u64)
+    }
+
+    /// Slot `i` of the second array: child pointer (inner) or value (leaf).
+    fn slot_addr(node: PAddr, i: usize) -> PAddr {
+        node.add_words(1 + MAX_KEYS as u64 + i as u64)
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts.
+    pub fn get(&self, tx: &mut dyn Txn, key: u64) -> TxResult<Option<u64>> {
+        let mut node_off = tx.read_word(self.root_ptr())?;
+        if node_off == 0 {
+            return Ok(None);
+        }
+        loop {
+            let node = PAddr::new(node_off);
+            let (leaf, count) = self.header(tx, node)?;
+            if leaf {
+                for i in 0..count {
+                    let k = tx.read_word(Self::key_addr(node, i))?;
+                    if k == key {
+                        return Ok(Some(tx.read_word(Self::slot_addr(node, i))?));
+                    }
+                    if key < k {
+                        return Ok(None);
+                    }
+                }
+                return Ok(None);
+            }
+            // Inner routing: a key equal to the separator lives in the
+            // right subtree (leaf splits promote the right node's first
+            // key), so equality advances past the separator.
+            let mut ci = 0;
+            while ci < count {
+                let k = tx.read_word(Self::key_addr(node, ci))?;
+                if key < k {
+                    break;
+                }
+                ci += 1;
+            }
+            node_off = tx.read_word(Self::slot_addr(node, ci))?;
+        }
+    }
+
+    /// Inserts or updates `key → value`; returns the previous value if the
+    /// key was present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts.
+    pub fn insert(&self, tx: &mut dyn Txn, key: u64, value: u64) -> TxResult<Option<u64>> {
+        let root_off = tx.read_word(self.root_ptr())?;
+        if root_off == 0 {
+            let leaf = self.alloc_node(tx)?;
+            self.set_header(tx, leaf, true, 1)?;
+            tx.write_word(Self::key_addr(leaf, 0), key)?;
+            tx.write_word(Self::slot_addr(leaf, 0), value)?;
+            tx.write_word(self.root_ptr(), leaf.offset())?;
+            return Ok(None);
+        }
+        let root = PAddr::new(root_off);
+        match self.insert_rec(tx, root, key, value)? {
+            Ins::Done(old) => Ok(old),
+            Ins::Split(sep, right) => {
+                let new_root = self.alloc_node(tx)?;
+                self.set_header(tx, new_root, false, 1)?;
+                tx.write_word(Self::key_addr(new_root, 0), sep)?;
+                tx.write_word(Self::slot_addr(new_root, 0), root.offset())?;
+                tx.write_word(Self::slot_addr(new_root, 1), right.offset())?;
+                tx.write_word(self.root_ptr(), new_root.offset())?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    ///
+    /// Deletion is *lazy* (no rebalancing): the entry is removed from its
+    /// leaf and separators stay as-is, which keeps routing correct. Leaves
+    /// may underflow; research-KV trade-off, matching the insert-heavy
+    /// workloads this tree serves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts.
+    pub fn remove(&self, tx: &mut dyn Txn, key: u64) -> TxResult<Option<u64>> {
+        let mut node_off = tx.read_word(self.root_ptr())?;
+        if node_off == 0 {
+            return Ok(None);
+        }
+        loop {
+            let node = PAddr::new(node_off);
+            let (leaf, count) = self.header(tx, node)?;
+            if leaf {
+                for i in 0..count {
+                    let k = tx.read_word(Self::key_addr(node, i))?;
+                    if k == key {
+                        let old = tx.read_word(Self::slot_addr(node, i))?;
+                        // Shift the tail left over the removed entry.
+                        for j in i..count - 1 {
+                            let nk = tx.read_word(Self::key_addr(node, j + 1))?;
+                            let nv = tx.read_word(Self::slot_addr(node, j + 1))?;
+                            tx.write_word(Self::key_addr(node, j), nk)?;
+                            tx.write_word(Self::slot_addr(node, j), nv)?;
+                        }
+                        self.set_header(tx, node, true, count - 1)?;
+                        return Ok(Some(old));
+                    }
+                    if key < k {
+                        return Ok(None);
+                    }
+                }
+                return Ok(None);
+            }
+            let mut ci = 0;
+            while ci < count {
+                let k = tx.read_word(Self::key_addr(node, ci))?;
+                if key < k {
+                    break;
+                }
+                ci += 1;
+            }
+            node_off = tx.read_word(Self::slot_addr(node, ci))?;
+        }
+    }
+
+    /// Collects all `(key, value)` pairs with `lo <= key <= hi`, in key
+    /// order, by walking the linked leaves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts.
+    pub fn range(&self, tx: &mut dyn Txn, lo: u64, hi: u64) -> TxResult<Vec<(u64, u64)>> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return Ok(out);
+        }
+        let mut node_off = tx.read_word(self.root_ptr())?;
+        if node_off == 0 {
+            return Ok(out);
+        }
+        // Descend to the leaf that would contain `lo`.
+        loop {
+            let node = PAddr::new(node_off);
+            let (leaf, count) = self.header(tx, node)?;
+            if leaf {
+                break;
+            }
+            let mut ci = 0;
+            while ci < count {
+                let k = tx.read_word(Self::key_addr(node, ci))?;
+                if lo < k {
+                    break;
+                }
+                ci += 1;
+            }
+            node_off = tx.read_word(Self::slot_addr(node, ci))?;
+        }
+        // Walk the leaf chain.
+        while node_off != 0 {
+            let node = PAddr::new(node_off);
+            let (_, count) = self.header(tx, node)?;
+            for i in 0..count {
+                let k = tx.read_word(Self::key_addr(node, i))?;
+                if k > hi {
+                    return Ok(out);
+                }
+                if k >= lo {
+                    out.push((k, tx.read_word(Self::slot_addr(node, i))?));
+                }
+            }
+            node_off = tx.read_word(node.add_words(NODE_WORDS - 1))?;
+        }
+        Ok(out)
+    }
+
+    fn insert_rec(&self, tx: &mut dyn Txn, node: PAddr, key: u64, value: u64) -> TxResult<Ins> {
+        let (leaf, count) = self.header(tx, node)?;
+        if leaf {
+            return self.insert_leaf(tx, node, count, key, value);
+        }
+        // Route to the child.
+        let mut ci = 0;
+        while ci < count {
+            let k = tx.read_word(Self::key_addr(node, ci))?;
+            if key < k {
+                break;
+            }
+            ci += 1;
+        }
+        let child = PAddr::new(tx.read_word(Self::slot_addr(node, ci))?);
+        match self.insert_rec(tx, child, key, value)? {
+            Ins::Done(old) => Ok(Ins::Done(old)),
+            Ins::Split(sep, right) => self.insert_inner(tx, node, count, ci, sep, right),
+        }
+    }
+
+    fn insert_leaf(
+        &self,
+        tx: &mut dyn Txn,
+        node: PAddr,
+        count: usize,
+        key: u64,
+        value: u64,
+    ) -> TxResult<Ins> {
+        // Position of the first key ≥ `key`.
+        let mut pos = 0;
+        while pos < count {
+            let k = tx.read_word(Self::key_addr(node, pos))?;
+            if k == key {
+                let old = tx.read_word(Self::slot_addr(node, pos))?;
+                tx.write_word(Self::slot_addr(node, pos), value)?;
+                return Ok(Ins::Done(Some(old)));
+            }
+            if key < k {
+                break;
+            }
+            pos += 1;
+        }
+        if count < MAX_KEYS {
+            // Shift right and insert.
+            let mut i = count;
+            while i > pos {
+                let k = tx.read_word(Self::key_addr(node, i - 1))?;
+                let v = tx.read_word(Self::slot_addr(node, i - 1))?;
+                tx.write_word(Self::key_addr(node, i), k)?;
+                tx.write_word(Self::slot_addr(node, i), v)?;
+                i -= 1;
+            }
+            tx.write_word(Self::key_addr(node, pos), key)?;
+            tx.write_word(Self::slot_addr(node, pos), value)?;
+            self.set_header(tx, node, true, count + 1)?;
+            return Ok(Ins::Done(None));
+        }
+        // Split: merge into a sorted scratch list of MAX_KEYS + 1 entries.
+        let mut entries = Vec::with_capacity(MAX_KEYS + 1);
+        for i in 0..count {
+            entries.push((
+                tx.read_word(Self::key_addr(node, i))?,
+                tx.read_word(Self::slot_addr(node, i))?,
+            ));
+        }
+        entries.insert(pos, (key, value));
+        let left_n = entries.len().div_ceil(2);
+        let right = self.alloc_node(tx)?;
+        // Rewrite left node.
+        for (i, &(k, v)) in entries[..left_n].iter().enumerate() {
+            tx.write_word(Self::key_addr(node, i), k)?;
+            tx.write_word(Self::slot_addr(node, i), v)?;
+        }
+        self.set_header(tx, node, true, left_n)?;
+        // Fill right node.
+        for (i, &(k, v)) in entries[left_n..].iter().enumerate() {
+            tx.write_word(Self::key_addr(right, i), k)?;
+            tx.write_word(Self::slot_addr(right, i), v)?;
+        }
+        self.set_header(tx, right, true, entries.len() - left_n)?;
+        // Leaf chaining (kept for future range scans).
+        let next = tx.read_word(node.add_words(NODE_WORDS - 1))?;
+        tx.write_word(right.add_words(NODE_WORDS - 1), next)?;
+        tx.write_word(node.add_words(NODE_WORDS - 1), right.offset())?;
+        Ok(Ins::Split(entries[left_n].0, right))
+    }
+
+    fn insert_inner(
+        &self,
+        tx: &mut dyn Txn,
+        node: PAddr,
+        count: usize,
+        at: usize,
+        sep: u64,
+        right_child: PAddr,
+    ) -> TxResult<Ins> {
+        if count < MAX_KEYS {
+            // Shift keys [at..count) and children [at+1..=count] right.
+            let mut i = count;
+            while i > at {
+                let k = tx.read_word(Self::key_addr(node, i - 1))?;
+                tx.write_word(Self::key_addr(node, i), k)?;
+                let c = tx.read_word(Self::slot_addr(node, i))?;
+                tx.write_word(Self::slot_addr(node, i + 1), c)?;
+                i -= 1;
+            }
+            tx.write_word(Self::key_addr(node, at), sep)?;
+            tx.write_word(Self::slot_addr(node, at + 1), right_child.offset())?;
+            self.set_header(tx, node, false, count + 1)?;
+            return Ok(Ins::Done(None));
+        }
+        // Split the inner node: gather keys and children, insert, promote
+        // the middle key.
+        let mut keys = Vec::with_capacity(MAX_KEYS + 1);
+        let mut children = Vec::with_capacity(MAX_KEYS + 2);
+        for i in 0..count {
+            keys.push(tx.read_word(Self::key_addr(node, i))?);
+        }
+        for i in 0..=count {
+            children.push(tx.read_word(Self::slot_addr(node, i))?);
+        }
+        keys.insert(at, sep);
+        children.insert(at + 1, right_child.offset());
+        let mid = keys.len() / 2;
+        let promoted = keys[mid];
+        let right = self.alloc_node(tx)?;
+        // Left keeps keys[..mid] and children[..=mid].
+        for (i, &k) in keys[..mid].iter().enumerate() {
+            tx.write_word(Self::key_addr(node, i), k)?;
+        }
+        for (i, &c) in children[..=mid].iter().enumerate() {
+            tx.write_word(Self::slot_addr(node, i), c)?;
+        }
+        self.set_header(tx, node, false, mid)?;
+        // Right gets keys[mid+1..] and children[mid+1..].
+        let rkeys = &keys[mid + 1..];
+        for (i, &k) in rkeys.iter().enumerate() {
+            tx.write_word(Self::key_addr(right, i), k)?;
+        }
+        for (i, &c) in children[mid + 1..].iter().enumerate() {
+            tx.write_word(Self::slot_addr(right, i), c)?;
+        }
+        self.set_header(tx, right, false, rkeys.len())?;
+        Ok(Ins::Split(promoted, right))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct MapTxn(HashMap<u64, u64>);
+
+    impl Txn for MapTxn {
+        fn read_word(&mut self, addr: PAddr) -> TxResult<u64> {
+            Ok(*self.0.get(&addr.offset()).unwrap_or(&0))
+        }
+        fn write_word(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+            self.0.insert(addr.offset(), val);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn empty_tree_returns_none() {
+        let t = BTree::new(PAddr::new(0), 16);
+        let mut tx = MapTxn::default();
+        assert_eq!(t.get(&mut tx, 5).unwrap(), None);
+    }
+
+    #[test]
+    fn insert_get_single() {
+        let t = BTree::new(PAddr::new(0), 16);
+        let mut tx = MapTxn::default();
+        assert_eq!(t.insert(&mut tx, 10, 100).unwrap(), None);
+        assert_eq!(t.get(&mut tx, 10).unwrap(), Some(100));
+        assert_eq!(t.get(&mut tx, 11).unwrap(), None);
+    }
+
+    #[test]
+    fn update_returns_old() {
+        let t = BTree::new(PAddr::new(0), 16);
+        let mut tx = MapTxn::default();
+        t.insert(&mut tx, 10, 100).unwrap();
+        assert_eq!(t.insert(&mut tx, 10, 200).unwrap(), Some(100));
+        assert_eq!(t.get(&mut tx, 10).unwrap(), Some(200));
+    }
+
+    #[test]
+    fn ascending_inserts_split_correctly() {
+        let t = BTree::new(PAddr::new(0), 512);
+        let mut tx = MapTxn::default();
+        for k in 0..500u64 {
+            t.insert(&mut tx, k, k * 2).unwrap();
+        }
+        for k in 0..500u64 {
+            assert_eq!(t.get(&mut tx, k).unwrap(), Some(k * 2), "key {k}");
+        }
+        assert_eq!(t.get(&mut tx, 500).unwrap(), None);
+    }
+
+    #[test]
+    fn descending_inserts_split_correctly() {
+        let t = BTree::new(PAddr::new(0), 512);
+        let mut tx = MapTxn::default();
+        for k in (0..500u64).rev() {
+            t.insert(&mut tx, k, k + 1).unwrap();
+        }
+        for k in 0..500u64 {
+            assert_eq!(t.get(&mut tx, k).unwrap(), Some(k + 1), "key {k}");
+        }
+    }
+
+    #[test]
+    fn random_model_check() {
+        let t = BTree::new(PAddr::new(128), 2048);
+        let mut tx = MapTxn::default();
+        let mut model = HashMap::new();
+        let mut x = 99u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (x >> 40) % 700;
+            if x.is_multiple_of(4) {
+                assert_eq!(t.get(&mut tx, key).unwrap(), model.get(&key).copied());
+            } else {
+                let val = x % 100_000;
+                assert_eq!(t.insert(&mut tx, key, val).unwrap(), model.insert(key, val));
+            }
+        }
+        for (k, v) in &model {
+            assert_eq!(t.get(&mut tx, *k).unwrap(), Some(*v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arena exhausted")]
+    fn arena_exhaustion_panics() {
+        let t = BTree::new(PAddr::new(0), 2);
+        let mut tx = MapTxn::default();
+        for k in 0..100u64 {
+            t.insert(&mut tx, k, k).unwrap();
+        }
+    }
+
+    #[test]
+    fn words_needed_accounts_for_meta() {
+        assert_eq!(BTree::words_needed(1), 2 + NODE_WORDS);
+    }
+
+    #[test]
+    fn remove_deletes_and_reports_old() {
+        let t = BTree::new(PAddr::new(0), 64);
+        let mut tx = MapTxn::default();
+        for k in 0..30u64 {
+            t.insert(&mut tx, k, k * 10).unwrap();
+        }
+        assert_eq!(t.remove(&mut tx, 7).unwrap(), Some(70));
+        assert_eq!(t.get(&mut tx, 7).unwrap(), None);
+        assert_eq!(t.remove(&mut tx, 7).unwrap(), None);
+        // Neighbours unaffected.
+        assert_eq!(t.get(&mut tx, 6).unwrap(), Some(60));
+        assert_eq!(t.get(&mut tx, 8).unwrap(), Some(80));
+        // Reinsert works.
+        assert_eq!(t.insert(&mut tx, 7, 71).unwrap(), None);
+        assert_eq!(t.get(&mut tx, 7).unwrap(), Some(71));
+    }
+
+    #[test]
+    fn remove_from_missing_tree() {
+        let t = BTree::new(PAddr::new(0), 8);
+        let mut tx = MapTxn::default();
+        assert_eq!(t.remove(&mut tx, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn range_scan_in_key_order() {
+        let t = BTree::new(PAddr::new(0), 256);
+        let mut tx = MapTxn::default();
+        // Insert shuffled keys.
+        for k in [50u64, 10, 90, 30, 70, 20, 80, 40, 60, 0] {
+            t.insert(&mut tx, k, k + 1).unwrap();
+        }
+        let r = t.range(&mut tx, 25, 75).unwrap();
+        assert_eq!(r, vec![(30, 31), (40, 41), (50, 51), (60, 61), (70, 71)]);
+        assert!(t.range(&mut tx, 91, 100).unwrap().is_empty());
+        assert!(t.range(&mut tx, 10, 5).unwrap().is_empty());
+        let all = t.range(&mut tx, 0, u64::MAX).unwrap();
+        assert_eq!(all.len(), 10);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn range_spans_many_leaves() {
+        let t = BTree::new(PAddr::new(0), 512);
+        let mut tx = MapTxn::default();
+        for k in 0..300u64 {
+            t.insert(&mut tx, k, k).unwrap();
+        }
+        let r = t.range(&mut tx, 100, 199).unwrap();
+        assert_eq!(r.len(), 100);
+        assert_eq!(r[0], (100, 100));
+        assert_eq!(r[99], (199, 199));
+    }
+
+    #[test]
+    fn mixed_insert_remove_model() {
+        let t = BTree::new(PAddr::new(0), 2048);
+        let mut tx = MapTxn::default();
+        let mut model = HashMap::new();
+        let mut x = 77u64;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (x >> 40) % 400;
+            match x % 5 {
+                0 | 1 => {
+                    let v = x % 1000;
+                    assert_eq!(t.insert(&mut tx, key, v).unwrap(), model.insert(key, v));
+                }
+                2 => {
+                    assert_eq!(t.remove(&mut tx, key).unwrap(), model.remove(&key));
+                }
+                _ => {
+                    assert_eq!(t.get(&mut tx, key).unwrap(), model.get(&key).copied());
+                }
+            }
+        }
+        let mut expect: Vec<(u64, u64)> = model.into_iter().collect();
+        expect.sort_unstable();
+        assert_eq!(t.range(&mut tx, 0, u64::MAX).unwrap(), expect);
+    }
+}

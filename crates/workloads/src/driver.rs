@@ -1,0 +1,478 @@
+//! The measurement harness.
+//!
+//! Drives a [`Workload`] over any [`TxnSystem`] with a configurable number
+//! of worker threads, either for a fixed wall-clock duration or a fixed
+//! operation count, and reports throughput, abort statistics and optional
+//! durable-acknowledgement latency percentiles.
+//!
+//! Latency is measured with the paper's pipelined acknowledgement scheme
+//! (§5.3): workers run transactions back-to-back, keep a queue of
+//! outstanding `(transaction ID, start time)` pairs, and acknowledge every
+//! outstanding transaction whose ID the global durable ID has passed. No
+//! worker ever stalls waiting for its own transaction — exactly the
+//! "check the durable ID between transactions" loop the paper describes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use dude_txapi::{TxResult, Txn, TxnSystem, TxnThread};
+
+use crate::rng::Rng;
+
+/// A benchmark workload: a load phase plus a repeatable operation.
+pub trait Workload: Sync {
+    /// Display name (e.g. `"TPC-C (B+-tree)"`).
+    fn name(&self) -> String;
+
+    /// Number of load steps; the driver runs **each step as its own
+    /// transaction** so large datasets do not overflow per-transaction
+    /// logs.
+    fn load_steps(&self) -> u64 {
+        1
+    }
+
+    /// Executes load step `step`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts (the driver retries via the system).
+    fn load_step(&self, tx: &mut dyn Txn, step: u64) -> TxResult<()>;
+
+    /// Executes one operation (one transaction body).
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts; may return user aborts.
+    fn op(&self, tx: &mut dyn Txn, rng: &mut Rng, worker: usize) -> TxResult<()>;
+}
+
+/// Latency measurement mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyMode {
+    /// No latency accounting (lowest overhead).
+    Off,
+    /// Pipelined durable-acknowledgement latency (§5.3), sampling one in
+    /// `sample_every` committed transactions.
+    DurableAck {
+        /// Sampling interval (1 = every transaction).
+        sample_every: u64,
+    },
+}
+
+/// Run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// RNG seed (runs are deterministic per seed and thread count).
+    pub seed: u64,
+    /// Latency accounting.
+    pub latency: LatencyMode,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threads: 4,
+            seed: 42,
+            latency: LatencyMode::Off,
+        }
+    }
+}
+
+/// Durable-latency percentiles in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyPercentiles {
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Number of samples.
+    pub samples: u64,
+}
+
+/// Results of one run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Workload name.
+    pub workload: String,
+    /// System name.
+    pub system: &'static str,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Committed operations.
+    pub committed: u64,
+    /// User-aborted operations.
+    pub user_aborted: u64,
+    /// Conflict retries observed.
+    pub retries: u64,
+    /// Wall-clock duration of the measurement phase.
+    pub elapsed: Duration,
+    /// Committed operations per second.
+    pub throughput: f64,
+    /// Durable-acknowledgement latency, when enabled.
+    pub latency: Option<LatencyPercentiles>,
+}
+
+impl RunStats {
+    /// Abort (retry) rate per committed transaction.
+    pub fn retry_rate(&self) -> f64 {
+        if self.committed == 0 {
+            return 0.0;
+        }
+        self.retries as f64 / self.committed as f64
+    }
+}
+
+/// Runs the load phase on one registered thread, one transaction per load
+/// step, then quiesces the system.
+pub fn load_workload<S: TxnSystem>(sys: &S, workload: &dyn Workload) {
+    let mut t = sys.register_thread();
+    for step in 0..workload.load_steps() {
+        let outcome = t.run(&mut |tx| workload.load_step(tx, step));
+        assert!(outcome.is_committed(), "load step {step} user-aborted");
+    }
+    drop(t);
+    sys.quiesce();
+}
+
+/// Runs `workload` for `duration` of wall-clock time.
+pub fn run_timed<S, W>(sys: &S, workload: &W, config: RunConfig, duration: Duration) -> RunStats
+where
+    S: TxnSystem,
+    W: Workload + ?Sized,
+{
+    run_inner(sys, workload, config, Some(duration), u64::MAX)
+}
+
+/// Runs `workload` for exactly `ops_per_thread` operations per worker.
+pub fn run_fixed_ops<S, W>(
+    sys: &S,
+    workload: &W,
+    config: RunConfig,
+    ops_per_thread: u64,
+) -> RunStats
+where
+    S: TxnSystem,
+    W: Workload + ?Sized,
+{
+    run_inner(sys, workload, config, None, ops_per_thread)
+}
+
+fn run_inner<S, W>(
+    sys: &S,
+    workload: &W,
+    config: RunConfig,
+    duration: Option<Duration>,
+    ops_per_thread: u64,
+) -> RunStats
+where
+    S: TxnSystem,
+    W: Workload + ?Sized,
+{
+    assert!(config.threads >= 1);
+    let committed = AtomicU64::new(0);
+    let user_aborted = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let all_samples: parking_lot_free::Collector = parking_lot_free::Collector::default();
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for worker in 0..config.threads {
+            let committed = &committed;
+            let user_aborted = &user_aborted;
+            let retries = &retries;
+            let all_samples = &all_samples;
+            scope.spawn(move || {
+                let mut t = sys.register_thread();
+                let mut rng = Rng::new(config.seed ^ (worker as u64 + 1).wrapping_mul(0xA5A5));
+                let mut my_committed = 0u64;
+                let mut my_aborted = 0u64;
+                let mut my_retries = 0u64;
+                let mut outstanding: std::collections::VecDeque<(u64, Instant)> =
+                    std::collections::VecDeque::new();
+                let mut samples: Vec<u64> = Vec::new();
+                let mut ops = 0u64;
+                loop {
+                    if ops >= ops_per_thread {
+                        break;
+                    }
+                    if let Some(d) = duration {
+                        if ops.is_multiple_of(64) && start.elapsed() >= d {
+                            break;
+                        }
+                    }
+                    ops += 1;
+                    let t0 = Instant::now();
+                    let outcome = t.run(&mut |tx| workload.op(tx, &mut rng, worker));
+                    match outcome.info() {
+                        Some(info) => {
+                            my_committed += 1;
+                            my_retries += u64::from(info.retries);
+                            if let LatencyMode::DurableAck { sample_every } = config.latency {
+                                match info.tid {
+                                    Some(tid) => {
+                                        if ops.is_multiple_of(sample_every) {
+                                            outstanding.push_back((tid, t0));
+                                        }
+                                    }
+                                    // No transaction ID: a synchronously
+                                    // durable system (NVML) or a read-only
+                                    // transaction — durable at return.
+                                    None => {
+                                        if ops.is_multiple_of(sample_every) {
+                                            samples.push(t0.elapsed().as_nanos() as u64);
+                                        }
+                                    }
+                                }
+                                // Acknowledge everything the durable ID has
+                                // passed (the paper's between-transactions
+                                // check).
+                                let wm = t.durable_watermark();
+                                let now = Instant::now();
+                                while outstanding.front().is_some_and(|&(tid, _)| tid <= wm) {
+                                    let (_, s) = outstanding.pop_front().expect("peeked");
+                                    samples.push((now - s).as_nanos() as u64);
+                                }
+                            }
+                        }
+                        None => my_aborted += 1,
+                    }
+                }
+                // Drain outstanding acknowledgements.
+                if let Some(&(last_tid, _)) = outstanding.back() {
+                    t.wait_durable(last_tid);
+                    let now = Instant::now();
+                    for (_, s) in outstanding.drain(..) {
+                        samples.push((now - s).as_nanos() as u64);
+                    }
+                }
+                committed.fetch_add(my_committed, Ordering::Relaxed);
+                user_aborted.fetch_add(my_aborted, Ordering::Relaxed);
+                retries.fetch_add(my_retries, Ordering::Relaxed);
+                all_samples.add(samples);
+            });
+        }
+    });
+
+    let elapsed = start.elapsed();
+    let committed = committed.into_inner();
+    let latency = match config.latency {
+        LatencyMode::Off => None,
+        LatencyMode::DurableAck { .. } => Some(percentiles(all_samples.into_vec())),
+    };
+    RunStats {
+        workload: workload.name(),
+        system: sys.name(),
+        threads: config.threads,
+        committed,
+        user_aborted: user_aborted.into_inner(),
+        retries: retries.into_inner(),
+        elapsed,
+        throughput: committed as f64 / elapsed.as_secs_f64(),
+        latency,
+    }
+}
+
+fn percentiles(mut samples: Vec<u64>) -> LatencyPercentiles {
+    if samples.is_empty() {
+        return LatencyPercentiles {
+            p50: 0,
+            p90: 0,
+            p99: 0,
+            samples: 0,
+        };
+    }
+    samples.sort_unstable();
+    let at = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+    LatencyPercentiles {
+        p50: at(0.50),
+        p90: at(0.90),
+        p99: at(0.99),
+        samples: samples.len() as u64,
+    }
+}
+
+/// Minimal mutex-based sample collector (avoids a dependency for one use).
+mod parking_lot_free {
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    pub struct Collector {
+        inner: Mutex<Vec<u64>>,
+    }
+
+    impl Collector {
+        pub fn add(&self, mut samples: Vec<u64>) {
+            self.inner.lock().expect("collector poisoned").append(&mut samples);
+        }
+
+        pub fn into_vec(self) -> Vec<u64> {
+            self.inner.into_inner().expect("collector poisoned")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dude_txapi::{CommitInfo, PAddr, TxnOutcome};
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    /// A toy sequential system: one global map behind a mutex, tids counted.
+    #[derive(Default)]
+    struct ToySystem {
+        mem: Mutex<HashMap<u64, u64>>,
+        clock: AtomicU64,
+    }
+
+    struct ToyThread<'a>(&'a ToySystem);
+
+    struct ToyTxn<'a>(std::sync::MutexGuard<'a, HashMap<u64, u64>>, bool);
+
+    impl Txn for ToyTxn<'_> {
+        fn read_word(&mut self, addr: PAddr) -> TxResult<u64> {
+            Ok(*self.0.get(&addr.offset()).unwrap_or(&0))
+        }
+        fn write_word(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+            self.1 = true;
+            self.0.insert(addr.offset(), val);
+            Ok(())
+        }
+    }
+
+    impl TxnSystem for ToySystem {
+        type Thread<'a> = ToyThread<'a>;
+        fn register_thread(&self) -> ToyThread<'_> {
+            ToyThread(self)
+        }
+        fn name(&self) -> &'static str {
+            "Toy"
+        }
+        fn heap_words(&self) -> u64 {
+            1 << 20
+        }
+    }
+
+    impl TxnThread for ToyThread<'_> {
+        fn run<T>(&mut self, body: &mut dyn FnMut(&mut dyn Txn) -> TxResult<T>) -> TxnOutcome<T> {
+            let guard = self.0.mem.lock().expect("toy lock");
+            let mut tx = ToyTxn(guard, false);
+            match body(&mut tx) {
+                Ok(v) => {
+                    let tid = if tx.1 {
+                        Some(self.0.clock.fetch_add(1, Ordering::Relaxed) + 1)
+                    } else {
+                        None
+                    };
+                    TxnOutcome::Committed {
+                        value: v,
+                        info: CommitInfo { tid, retries: 0 },
+                    }
+                }
+                Err(_) => TxnOutcome::Aborted,
+            }
+        }
+        fn durable_watermark(&self) -> u64 {
+            self.0.clock.load(Ordering::Relaxed)
+        }
+    }
+
+    struct CounterWorkload;
+
+    impl Workload for CounterWorkload {
+        fn name(&self) -> String {
+            "counter".into()
+        }
+        fn load_step(&self, tx: &mut dyn Txn, _step: u64) -> TxResult<()> {
+            tx.write_word(PAddr::new(0), 0)
+        }
+        fn op(&self, tx: &mut dyn Txn, _rng: &mut Rng, _w: usize) -> TxResult<()> {
+            let v = tx.read_word(PAddr::new(0))?;
+            tx.write_word(PAddr::new(0), v + 1)
+        }
+    }
+
+    #[test]
+    fn fixed_ops_counts_exactly() {
+        let sys = ToySystem::default();
+        load_workload(&sys, &CounterWorkload);
+        let stats = run_fixed_ops(
+            &sys,
+            &CounterWorkload,
+            RunConfig {
+                threads: 3,
+                ..RunConfig::default()
+            },
+            100,
+        );
+        assert_eq!(stats.committed, 300);
+        assert_eq!(stats.user_aborted, 0);
+        assert_eq!(stats.system, "Toy");
+        assert!(stats.throughput > 0.0);
+        let v = *sys.mem.lock().unwrap().get(&0).unwrap();
+        assert_eq!(v, 300);
+    }
+
+    #[test]
+    fn timed_run_terminates() {
+        let sys = ToySystem::default();
+        load_workload(&sys, &CounterWorkload);
+        let stats = run_timed(
+            &sys,
+            &CounterWorkload,
+            RunConfig {
+                threads: 2,
+                ..RunConfig::default()
+            },
+            Duration::from_millis(50),
+        );
+        assert!(stats.committed > 0);
+        assert!(stats.elapsed >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn latency_sampling_produces_percentiles() {
+        let sys = ToySystem::default();
+        load_workload(&sys, &CounterWorkload);
+        let stats = run_fixed_ops(
+            &sys,
+            &CounterWorkload,
+            RunConfig {
+                threads: 1,
+                latency: LatencyMode::DurableAck { sample_every: 1 },
+                ..RunConfig::default()
+            },
+            200,
+        );
+        let lat = stats.latency.expect("latency enabled");
+        assert_eq!(lat.samples, 200);
+        assert!(lat.p50 <= lat.p90 && lat.p90 <= lat.p99);
+    }
+
+    #[test]
+    fn percentiles_of_empty_are_zero() {
+        let p = percentiles(Vec::new());
+        assert_eq!(p.samples, 0);
+        assert_eq!(p.p99, 0);
+    }
+
+    #[test]
+    fn retry_rate_math() {
+        let stats = RunStats {
+            workload: "x".into(),
+            system: "y",
+            threads: 1,
+            committed: 100,
+            user_aborted: 0,
+            retries: 25,
+            elapsed: Duration::from_secs(1),
+            throughput: 100.0,
+            latency: None,
+        };
+        assert!((stats.retry_rate() - 0.25).abs() < 1e-9);
+    }
+}

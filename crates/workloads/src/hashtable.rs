@@ -1,0 +1,324 @@
+//! The HashTable micro-benchmark structure (§5.1).
+//!
+//! A fixed-size open-addressing hash table mapping 64-bit keys to 64-bit
+//! values; collisions probe the next bucket circularly, exactly as the
+//! paper describes. Every operation is one transaction.
+//!
+//! Writes are preceded by [`dude_txapi::Txn::declare_write`] on the target
+//! bucket, so the same code runs on the static-transaction NVML-like
+//! baseline (where the declaration takes locks and undo-logs the bucket)
+//! and on the dynamic systems (where it is a no-op). After declaring, the
+//! bucket is re-read: under the NVML baseline the declaration is the lock
+//! acquisition, so the earlier probe must be revalidated.
+
+use dude_txapi::{PAddr, TxResult, Txn};
+
+/// Words per bucket: `[key, value]`; key 0 means empty.
+const BUCKET_WORDS: u64 = 2;
+/// Tombstone marker left by removals (probing continues past it; inserts
+/// may reuse it).
+const TOMBSTONE: u64 = u64::MAX;
+
+/// A transactional open-addressing hash table.
+///
+/// Keys are offset by one internally so callers may use the full `u64`
+/// range except `u64::MAX`.
+#[derive(Debug, Clone, Copy)]
+pub struct HashTable {
+    base: PAddr,
+    buckets: u64,
+}
+
+impl HashTable {
+    /// Creates a descriptor for a table of `buckets` buckets at `base`.
+    /// The underlying words must be zeroed (fresh heap) or previously
+    /// cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero or `base` is unaligned.
+    pub fn new(base: PAddr, buckets: u64) -> Self {
+        assert!(buckets > 0, "hash table needs at least one bucket");
+        assert!(base.is_word_aligned());
+        HashTable { base, buckets }
+    }
+
+    /// Bytes of heap the table occupies.
+    pub fn size_bytes(&self) -> u64 {
+        self.buckets * BUCKET_WORDS * 8
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> u64 {
+        self.buckets
+    }
+
+    #[inline]
+    fn bucket_addr(&self, idx: u64) -> PAddr {
+        self.base.add_words(idx * BUCKET_WORDS)
+    }
+
+    #[inline]
+    fn hash(&self, key: u64) -> u64 {
+        (key.wrapping_add(1))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(31)
+            % self.buckets
+    }
+
+    /// Inserts or updates `key → value`. Returns the previous value if the
+    /// key was present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is full (the benchmark sizes tables to stay
+    /// below full occupancy).
+    pub fn insert(&self, tx: &mut dyn Txn, key: u64, value: u64) -> TxResult<Option<u64>> {
+        let stored = key + 1;
+        let mut idx = self.hash(key);
+        // First free (empty or tombstone) slot seen on the probe path; the
+        // key itself may still appear later, so keep probing before reusing.
+        let mut free: Option<u64> = None;
+        for _ in 0..self.buckets {
+            let addr = self.bucket_addr(idx);
+            let k = tx.read_word(addr)?;
+            if k == stored {
+                tx.declare_write(addr, BUCKET_WORDS)?;
+                // Revalidate after declaration (lock acquisition on the
+                // static-transaction baseline).
+                if tx.read_word(addr)? != stored {
+                    idx = (idx + 1) % self.buckets;
+                    continue;
+                }
+                let old = tx.read_word(addr.add_words(1))?;
+                tx.write_word(addr.add_words(1), value)?;
+                return Ok(Some(old));
+            }
+            if k == TOMBSTONE && free.is_none() {
+                free = Some(idx);
+            }
+            if k == 0 {
+                let target = free.unwrap_or(idx);
+                let taddr = self.bucket_addr(target);
+                tx.declare_write(taddr, BUCKET_WORDS)?;
+                let cur = tx.read_word(taddr)?;
+                if cur != 0 && cur != TOMBSTONE {
+                    idx = (idx + 1) % self.buckets;
+                    free = None;
+                    continue;
+                }
+                tx.write_word(taddr, stored)?;
+                tx.write_word(taddr.add_words(1), value)?;
+                return Ok(None);
+            }
+            idx = (idx + 1) % self.buckets;
+        }
+        if let Some(target) = free {
+            let taddr = self.bucket_addr(target);
+            tx.declare_write(taddr, BUCKET_WORDS)?;
+            tx.write_word(taddr, stored)?;
+            tx.write_word(taddr.add_words(1), value)?;
+            return Ok(None);
+        }
+        panic!("hash table full ({} buckets)", self.buckets);
+    }
+
+    /// Removes `key`, returning its value if it was present. The bucket is
+    /// tombstoned so later probes keep walking past it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts.
+    pub fn remove(&self, tx: &mut dyn Txn, key: u64) -> TxResult<Option<u64>> {
+        let stored = key + 1;
+        let mut idx = self.hash(key);
+        for _ in 0..self.buckets {
+            let addr = self.bucket_addr(idx);
+            let k = tx.read_word(addr)?;
+            if k == stored {
+                tx.declare_write(addr, BUCKET_WORDS)?;
+                if tx.read_word(addr)? != stored {
+                    idx = (idx + 1) % self.buckets;
+                    continue;
+                }
+                let old = tx.read_word(addr.add_words(1))?;
+                tx.write_word(addr, TOMBSTONE)?;
+                return Ok(Some(old));
+            }
+            if k == 0 {
+                return Ok(None);
+            }
+            idx = (idx + 1) % self.buckets;
+        }
+        Ok(None)
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts.
+    pub fn get(&self, tx: &mut dyn Txn, key: u64) -> TxResult<Option<u64>> {
+        let stored = key + 1;
+        let mut idx = self.hash(key);
+        for _ in 0..self.buckets {
+            let addr = self.bucket_addr(idx);
+            let k = tx.read_word(addr)?;
+            if k == stored {
+                return Ok(Some(tx.read_word(addr.add_words(1))?));
+            }
+            if k == 0 {
+                return Ok(None);
+            }
+            idx = (idx + 1) % self.buckets;
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A plain in-memory `Txn` for structure-only tests.
+    #[derive(Default)]
+    struct MapTxn(HashMap<u64, u64>);
+
+    impl Txn for MapTxn {
+        fn read_word(&mut self, addr: PAddr) -> TxResult<u64> {
+            Ok(*self.0.get(&addr.offset()).unwrap_or(&0))
+        }
+        fn write_word(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+            self.0.insert(addr.offset(), val);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let t = HashTable::new(PAddr::new(0), 64);
+        let mut tx = MapTxn::default();
+        assert_eq!(t.insert(&mut tx, 5, 50).unwrap(), None);
+        assert_eq!(t.get(&mut tx, 5).unwrap(), Some(50));
+        assert_eq!(t.get(&mut tx, 6).unwrap(), None);
+    }
+
+    #[test]
+    fn update_returns_previous() {
+        let t = HashTable::new(PAddr::new(0), 64);
+        let mut tx = MapTxn::default();
+        t.insert(&mut tx, 5, 50).unwrap();
+        assert_eq!(t.insert(&mut tx, 5, 51).unwrap(), Some(50));
+        assert_eq!(t.get(&mut tx, 5).unwrap(), Some(51));
+    }
+
+    #[test]
+    fn collisions_probe_circularly() {
+        // Tiny table: plenty of collisions.
+        let t = HashTable::new(PAddr::new(0), 8);
+        let mut tx = MapTxn::default();
+        for k in 0..6u64 {
+            t.insert(&mut tx, k, k * 10).unwrap();
+        }
+        for k in 0..6u64 {
+            assert_eq!(t.get(&mut tx, k).unwrap(), Some(k * 10), "key {k}");
+        }
+    }
+
+    #[test]
+    fn key_zero_is_usable() {
+        let t = HashTable::new(PAddr::new(0), 8);
+        let mut tx = MapTxn::default();
+        t.insert(&mut tx, 0, 99).unwrap();
+        assert_eq!(t.get(&mut tx, 0).unwrap(), Some(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "hash table full")]
+    fn overfill_panics() {
+        let t = HashTable::new(PAddr::new(0), 4);
+        let mut tx = MapTxn::default();
+        for k in 0..5u64 {
+            t.insert(&mut tx, k, k).unwrap();
+        }
+    }
+
+    #[test]
+    fn remove_and_reuse() {
+        let t = HashTable::new(PAddr::new(0), 16);
+        let mut tx = MapTxn::default();
+        t.insert(&mut tx, 1, 10).unwrap();
+        t.insert(&mut tx, 2, 20).unwrap();
+        assert_eq!(t.remove(&mut tx, 1).unwrap(), Some(10));
+        assert_eq!(t.get(&mut tx, 1).unwrap(), None);
+        assert_eq!(t.remove(&mut tx, 1).unwrap(), None);
+        // Key 2 still reachable (even if it probed past key 1's bucket).
+        assert_eq!(t.get(&mut tx, 2).unwrap(), Some(20));
+        // Tombstone is reused on reinsertion.
+        assert_eq!(t.insert(&mut tx, 1, 11).unwrap(), None);
+        assert_eq!(t.get(&mut tx, 1).unwrap(), Some(11));
+    }
+
+    #[test]
+    fn probe_past_tombstones_finds_displaced_keys() {
+        // Tiny table, heavy collisions: remove an early key in a probe
+        // chain and confirm later keys remain reachable.
+        let t = HashTable::new(PAddr::new(0), 8);
+        let mut tx = MapTxn::default();
+        for k in 0..5u64 {
+            t.insert(&mut tx, k, k * 100).unwrap();
+        }
+        t.remove(&mut tx, 2).unwrap();
+        for k in [0u64, 1, 3, 4] {
+            assert_eq!(t.get(&mut tx, k).unwrap(), Some(k * 100), "key {k}");
+        }
+    }
+
+    #[test]
+    fn churn_with_tombstones_never_fills() {
+        // Repeated insert/remove cycles must not exhaust an 8-bucket table
+        // with only 4 live keys (tombstone reuse).
+        let t = HashTable::new(PAddr::new(0), 8);
+        let mut tx = MapTxn::default();
+        for round in 0..100u64 {
+            for k in 0..4u64 {
+                t.insert(&mut tx, k, round).unwrap();
+            }
+            for k in 0..4u64 {
+                assert_eq!(t.remove(&mut tx, k).unwrap(), Some(round));
+            }
+        }
+    }
+
+    #[test]
+    fn model_check_against_hashmap() {
+        let t = HashTable::new(PAddr::new(64), 256);
+        let mut tx = MapTxn::default();
+        let mut model = HashMap::new();
+        let mut x = 12345u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (x >> 33) % 128;
+            match x % 4 {
+                0 => {
+                    assert_eq!(t.get(&mut tx, key).unwrap(), model.get(&key).copied());
+                }
+                1 => {
+                    assert_eq!(t.remove(&mut tx, key).unwrap(), model.remove(&key));
+                }
+                _ => {
+                    let val = x % 1000;
+                    assert_eq!(
+                        t.insert(&mut tx, key, val).unwrap(),
+                        model.insert(key, val)
+                    );
+                }
+            }
+        }
+    }
+}

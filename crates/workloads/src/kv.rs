@@ -1,0 +1,146 @@
+//! A uniform key-value index over either structure.
+//!
+//! The paper runs TPC-C, TATP and the YCSB store twice — once with a
+//! B+-tree index and once with a hash-table index. [`KvIndex`] lets those
+//! workloads be written once and instantiated with either.
+
+use dude_txapi::{PAddr, TxResult, Txn};
+
+use crate::btree::BTree;
+use crate::hashtable::HashTable;
+
+/// Which index backs a composite workload (the "(B+-tree)" / "(hash)"
+/// variants in the paper's tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvKind {
+    /// Ordered B+-tree index.
+    BTree,
+    /// Open-addressing hash index.
+    Hash,
+}
+
+impl KvKind {
+    /// Suffix used in benchmark names, e.g. `"TPC-C (B+-tree)"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            KvKind::BTree => "B+-tree",
+            KvKind::Hash => "hash",
+        }
+    }
+}
+
+/// A transactional `u64 → u64` index.
+pub trait KvIndex: Send + Sync + Copy {
+    /// Inserts or updates a mapping; returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts.
+    fn insert(&self, tx: &mut dyn Txn, key: u64, value: u64) -> TxResult<Option<u64>>;
+
+    /// Looks a key up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts.
+    fn get(&self, tx: &mut dyn Txn, key: u64) -> TxResult<Option<u64>>;
+}
+
+/// A [`BTree`]-backed index.
+#[derive(Debug, Clone, Copy)]
+pub struct BTreeKv(pub BTree);
+
+impl BTreeKv {
+    /// Creates the index with metadata at `base` and capacity for `nodes`
+    /// nodes; see [`BTree::new`].
+    pub fn new(base: PAddr, nodes: u64) -> Self {
+        BTreeKv(BTree::new(base, nodes))
+    }
+
+    /// Heap words needed; see [`BTree::words_needed`].
+    pub fn words_needed(nodes: u64) -> u64 {
+        BTree::words_needed(nodes)
+    }
+}
+
+impl KvIndex for BTreeKv {
+    fn insert(&self, tx: &mut dyn Txn, key: u64, value: u64) -> TxResult<Option<u64>> {
+        self.0.insert(tx, key, value)
+    }
+
+    fn get(&self, tx: &mut dyn Txn, key: u64) -> TxResult<Option<u64>> {
+        self.0.get(tx, key)
+    }
+}
+
+/// A [`HashTable`]-backed index.
+#[derive(Debug, Clone, Copy)]
+pub struct HashKv(pub HashTable);
+
+impl HashKv {
+    /// Creates the index at `base` with `buckets` buckets; see
+    /// [`HashTable::new`].
+    pub fn new(base: PAddr, buckets: u64) -> Self {
+        HashKv(HashTable::new(base, buckets))
+    }
+
+    /// Heap words needed for `buckets` buckets.
+    pub fn words_needed(buckets: u64) -> u64 {
+        buckets * 2
+    }
+}
+
+impl KvIndex for HashKv {
+    fn insert(&self, tx: &mut dyn Txn, key: u64, value: u64) -> TxResult<Option<u64>> {
+        self.0.insert(tx, key, value)
+    }
+
+    fn get(&self, tx: &mut dyn Txn, key: u64) -> TxResult<Option<u64>> {
+        self.0.get(tx, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct MapTxn(HashMap<u64, u64>);
+
+    impl Txn for MapTxn {
+        fn read_word(&mut self, addr: PAddr) -> TxResult<u64> {
+            Ok(*self.0.get(&addr.offset()).unwrap_or(&0))
+        }
+        fn write_word(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+            self.0.insert(addr.offset(), val);
+            Ok(())
+        }
+    }
+
+    fn exercise<K: KvIndex>(kv: K) {
+        let mut tx = MapTxn::default();
+        assert_eq!(kv.insert(&mut tx, 1, 10).unwrap(), None);
+        assert_eq!(kv.insert(&mut tx, 2, 20).unwrap(), None);
+        assert_eq!(kv.get(&mut tx, 1).unwrap(), Some(10));
+        assert_eq!(kv.insert(&mut tx, 1, 11).unwrap(), Some(10));
+        assert_eq!(kv.get(&mut tx, 1).unwrap(), Some(11));
+        assert_eq!(kv.get(&mut tx, 3).unwrap(), None);
+    }
+
+    #[test]
+    fn btree_kv_behaves() {
+        exercise(BTreeKv::new(PAddr::new(0), 64));
+    }
+
+    #[test]
+    fn hash_kv_behaves() {
+        exercise(HashKv::new(PAddr::new(0), 64));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(KvKind::BTree.label(), "B+-tree");
+        assert_eq!(KvKind::Hash.label(), "hash");
+    }
+}

@@ -1,0 +1,155 @@
+//! The HashTable and B+-tree micro-benchmarks (§5.1): insert randomly
+//! generated 64-bit key/value pairs, one insert per transaction.
+
+use dude_txapi::{TxResult, Txn};
+
+use crate::btree::BTree;
+use crate::driver::Workload;
+use crate::hashtable::HashTable;
+use crate::rng::Rng;
+
+/// Random inserts into a fixed-size hash table ("HashTable" in the paper's
+/// figures — the most write-intensive benchmark).
+#[derive(Debug, Clone, Copy)]
+pub struct HashInsertBench {
+    table: HashTable,
+    key_space: u64,
+}
+
+impl HashInsertBench {
+    /// Creates the benchmark over `table`, drawing keys from
+    /// `[0, key_space)`. Keep `key_space` below ~70 % of the bucket count
+    /// so the table never fills.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_space` is zero or ≥ the table's bucket count.
+    pub fn new(table: HashTable, key_space: u64) -> Self {
+        assert!(key_space > 0 && key_space < table.buckets());
+        HashInsertBench { table, key_space }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> HashTable {
+        self.table
+    }
+}
+
+impl Workload for HashInsertBench {
+    fn name(&self) -> String {
+        "HashTable".into()
+    }
+
+    fn load_steps(&self) -> u64 {
+        0 // starts empty
+    }
+
+    fn load_step(&self, _tx: &mut dyn Txn, _step: u64) -> TxResult<()> {
+        Ok(())
+    }
+
+    fn op(&self, tx: &mut dyn Txn, rng: &mut Rng, _worker: usize) -> TxResult<()> {
+        let key = rng.below(self.key_space);
+        let val = rng.next_u64();
+        self.table.insert(tx, key, val)?;
+        Ok(())
+    }
+}
+
+/// Random inserts into a B+-tree ("B+-tree" in the paper's figures).
+#[derive(Debug, Clone, Copy)]
+pub struct BTreeInsertBench {
+    tree: BTree,
+    key_space: u64,
+}
+
+impl BTreeInsertBench {
+    /// Creates the benchmark over `tree`, drawing keys from
+    /// `[0, key_space)`. Size the tree arena for at least
+    /// `key_space / 4` nodes.
+    pub fn new(tree: BTree, key_space: u64) -> Self {
+        assert!(key_space > 0);
+        BTreeInsertBench { tree, key_space }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> BTree {
+        self.tree
+    }
+}
+
+impl Workload for BTreeInsertBench {
+    fn name(&self) -> String {
+        "B+-tree".into()
+    }
+
+    fn load_steps(&self) -> u64 {
+        0
+    }
+
+    fn load_step(&self, _tx: &mut dyn Txn, _step: u64) -> TxResult<()> {
+        Ok(())
+    }
+
+    fn op(&self, tx: &mut dyn Txn, rng: &mut Rng, _worker: usize) -> TxResult<()> {
+        let key = rng.below(self.key_space);
+        let val = rng.next_u64();
+        self.tree.insert(tx, key, val)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dude_txapi::PAddr;
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct MapTxn(HashMap<u64, u64>);
+
+    impl Txn for MapTxn {
+        fn read_word(&mut self, addr: PAddr) -> TxResult<u64> {
+            Ok(*self.0.get(&addr.offset()).unwrap_or(&0))
+        }
+        fn write_word(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+            self.0.insert(addr.offset(), val);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn hash_bench_ops_insert() {
+        let bench = HashInsertBench::new(HashTable::new(PAddr::new(0), 256), 128);
+        let mut tx = MapTxn::default();
+        let mut rng = Rng::new(1);
+        for _ in 0..200 {
+            bench.op(&mut tx, &mut rng, 0).unwrap();
+        }
+        // At least one key must now be present.
+        let mut found = 0;
+        for k in 0..128 {
+            if bench.table().get(&mut tx, k).unwrap().is_some() {
+                found += 1;
+            }
+        }
+        assert!(found > 50, "only {found} keys present");
+    }
+
+    #[test]
+    fn btree_bench_ops_insert() {
+        let bench = BTreeInsertBench::new(BTree::new(PAddr::new(0), 512), 200);
+        let mut tx = MapTxn::default();
+        let mut rng = Rng::new(2);
+        for _ in 0..300 {
+            bench.op(&mut tx, &mut rng, 0).unwrap();
+        }
+        let mut found = 0;
+        for k in 0..200 {
+            if bench.tree().get(&mut tx, k).unwrap().is_some() {
+                found += 1;
+            }
+        }
+        assert!(found > 80, "only {found} keys present");
+    }
+}

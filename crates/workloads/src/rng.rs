@@ -1,0 +1,181 @@
+//! Deterministic random number generation for workloads.
+//!
+//! A SplitMix64 core keeps runs reproducible across systems (the same seed
+//! produces the same operation stream on DudeTM and every baseline), and a
+//! Zipfian generator provides the skewed key distributions of §5.4/§5.5
+//! (constants 0.99 and 1.07).
+
+/// A small, fast, deterministic RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire-style rejection-free approximation is fine for workloads.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive).
+    pub fn between(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A Zipfian distribution over `[0, n)` with skew `theta`.
+///
+/// Built from the inverse CDF (precomputed table + binary search), which is
+/// exact and fast enough for the 10 K–1 M element populations the paper's
+/// skewed workloads use.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipfian distribution over `n` items with parameter
+    /// `theta` (the paper uses 0.99 and 1.07).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is not positive.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "population must be positive");
+        assert!(theta > 0.0, "theta must be positive");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Population size.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Samples a rank in `[0, n)`; rank 0 is the most popular item.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.unit_f64();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            assert!(r.below(13) < 13);
+        }
+        // All residues show up.
+        let mut seen = [false; 13];
+        for _ in 0..10_000 {
+            seen[r.below(13) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let mut r = Rng::new(9);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let v = r.between(3, 5);
+            assert!((3..=5).contains(&v));
+            lo_seen |= v == 3;
+            hi_seen |= v == 5;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(1000, 0.99);
+        let mut r = Rng::new(1);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r) as usize] += 1;
+        }
+        // Rank 0 dominates; top-10 takes a large share.
+        assert!(counts[0] > counts[500] * 20);
+        let top10: u64 = counts[..10].iter().sum();
+        assert!(
+            top10 > 30_000,
+            "zipf(0.99) top-10 share too small: {top10}"
+        );
+    }
+
+    #[test]
+    fn zipf_higher_theta_is_more_skewed() {
+        let mut r1 = Rng::new(5);
+        let mut r2 = Rng::new(5);
+        let z99 = Zipf::new(10_000, 0.99);
+        let z107 = Zipf::new(10_000, 1.07);
+        let hits = |z: &Zipf, r: &mut Rng| -> u64 {
+            (0..50_000).filter(|_| z.sample(r) < 10).count() as u64
+        };
+        let h99 = hits(&z99, &mut r1);
+        let h107 = hits(&z107, &mut r2);
+        assert!(h107 > h99, "1.07 should be more skewed: {h107} vs {h99}");
+    }
+
+    #[test]
+    fn zipf_covers_population() {
+        let z = Zipf::new(10, 0.99);
+        let mut r = Rng::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut r) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(z.n(), 10);
+    }
+}

@@ -1,0 +1,259 @@
+//! The TATP Update-Location transaction (§5.1).
+//!
+//! TATP models a mobile-carrier subscriber database; Update Location
+//! records a handoff: one index search for the subscriber plus one field
+//! update — the paper's shortest transaction (~3000 cycles, one write).
+
+use dude_txapi::{PAddr, TxResult, Txn};
+
+use crate::driver::Workload;
+use crate::kv::KvIndex;
+use crate::rng::Rng;
+
+/// Words per subscriber record:
+/// `[s_id, bit_flags, hex_flags, vlr_location]`.
+const RECORD_WORDS: u64 = 4;
+
+/// The TATP workload over any KV index.
+#[derive(Debug)]
+pub struct Tatp<K: KvIndex> {
+    kv: K,
+    records_base: PAddr,
+    subscribers: u64,
+    label: String,
+}
+
+impl<K: KvIndex> Tatp<K> {
+    /// Creates the workload: `subscribers` records stored at
+    /// `records_base`, indexed by `kv`.
+    pub fn new(kv: K, records_base: PAddr, subscribers: u64, label: &str) -> Self {
+        assert!(subscribers > 0);
+        assert!(records_base.is_word_aligned());
+        Tatp {
+            kv,
+            records_base,
+            subscribers,
+            label: label.to_string(),
+        }
+    }
+
+    /// Heap words the record region needs.
+    pub fn record_words(subscribers: u64) -> u64 {
+        subscribers * RECORD_WORDS
+    }
+
+    fn record_addr(&self, i: u64) -> PAddr {
+        self.records_base.add_words(i * RECORD_WORDS)
+    }
+
+    /// The Update-Location transaction body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts.
+    pub fn update_location(&self, tx: &mut dyn Txn, s_id: u64, location: u64) -> TxResult<()> {
+        let off = self
+            .kv
+            .get(tx, s_id)?
+            .expect("subscriber must have been loaded");
+        let vlr = PAddr::new(off).add_words(3);
+        tx.declare_write(vlr, 1)?;
+        tx.write_word(vlr, location)?;
+        Ok(())
+    }
+
+    /// The Get-Subscriber-Data transaction body (read-only): returns
+    /// `[s_id, bit_flags, hex_flags, vlr_location]`.
+    ///
+    /// TATP's full mix is read-dominated; the paper measures only Update
+    /// Location, so this read transaction is an extension used by the mixed
+    /// workload below.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts.
+    pub fn get_subscriber_data(&self, tx: &mut dyn Txn, s_id: u64) -> TxResult<[u64; 4]> {
+        let off = self
+            .kv
+            .get(tx, s_id)?
+            .expect("subscriber must have been loaded");
+        let rec = PAddr::new(off);
+        Ok([
+            tx.read_word(rec)?,
+            tx.read_word(rec.add_words(1))?,
+            tx.read_word(rec.add_words(2))?,
+            tx.read_word(rec.add_words(3))?,
+        ])
+    }
+
+    /// Converts this workload into a read/update mix: `update_pct`% Update
+    /// Location, the rest Get Subscriber Data.
+    pub fn into_mixed(self, update_pct: u64) -> TatpMixed<K> {
+        assert!(update_pct <= 100);
+        TatpMixed {
+            inner: self,
+            update_pct,
+        }
+    }
+}
+
+/// A TATP mix of Update-Location and Get-Subscriber-Data transactions
+/// (extension beyond the paper's update-only measurement).
+#[derive(Debug)]
+pub struct TatpMixed<K: KvIndex> {
+    inner: Tatp<K>,
+    update_pct: u64,
+}
+
+impl<K: KvIndex> Workload for TatpMixed<K> {
+    fn name(&self) -> String {
+        format!("{} {}%upd", self.inner.label, self.update_pct)
+    }
+
+    fn load_steps(&self) -> u64 {
+        self.inner.load_steps()
+    }
+
+    fn load_step(&self, tx: &mut dyn Txn, step: u64) -> TxResult<()> {
+        self.inner.load_step(tx, step)
+    }
+
+    fn op(&self, tx: &mut dyn Txn, rng: &mut Rng, _worker: usize) -> TxResult<()> {
+        let s_id = rng.below(self.inner.subscribers);
+        if rng.below(100) < self.update_pct {
+            self.inner.update_location(tx, s_id, rng.next_u64())
+        } else {
+            let data = self.inner.get_subscriber_data(tx, s_id)?;
+            assert_eq!(data[0], s_id, "record integrity");
+            Ok(())
+        }
+    }
+}
+
+impl<K: KvIndex> Workload for Tatp<K> {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn load_steps(&self) -> u64 {
+        self.subscribers.div_ceil(32)
+    }
+
+    fn load_step(&self, tx: &mut dyn Txn, step: u64) -> TxResult<()> {
+        let lo = step * 32;
+        let hi = (lo + 32).min(self.subscribers);
+        for s in lo..hi {
+            let rec = self.record_addr(s);
+            tx.declare_write(rec, RECORD_WORDS)?;
+            tx.write_word(rec, s)?;
+            tx.write_word(rec.add_words(1), s % 256)?;
+            tx.write_word(rec.add_words(2), s % 16)?;
+            tx.write_word(rec.add_words(3), 0)?;
+            self.kv.insert(tx, s, rec.offset())?;
+        }
+        Ok(())
+    }
+
+    fn op(&self, tx: &mut dyn Txn, rng: &mut Rng, _worker: usize) -> TxResult<()> {
+        let s_id = rng.below(self.subscribers);
+        let location = rng.next_u64();
+        self.update_location(tx, s_id, location)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::HashKv;
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct MapTxn(HashMap<u64, u64>);
+
+    impl Txn for MapTxn {
+        fn read_word(&mut self, addr: PAddr) -> TxResult<u64> {
+            Ok(*self.0.get(&addr.offset()).unwrap_or(&0))
+        }
+        fn write_word(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+            self.0.insert(addr.offset(), val);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn update_location_writes_field() {
+        // Index in [0, 4096), records at 4096.
+        let tatp = Tatp::new(
+            HashKv::new(PAddr::new(0), 256),
+            PAddr::new(4096),
+            50,
+            "TATP (hash)",
+        );
+        let mut tx = MapTxn::default();
+        for s in 0..tatp.load_steps() {
+            tatp.load_step(&mut tx, s).unwrap();
+        }
+        tatp.update_location(&mut tx, 7, 12345).unwrap();
+        // Record 7's vlr_location (word 3) holds the new value.
+        let rec = tatp.record_addr(7);
+        assert_eq!(tx.read_word(rec.add_words(3)).unwrap(), 12345);
+        // Neighbour untouched.
+        let rec8 = tatp.record_addr(8);
+        assert_eq!(tx.read_word(rec8.add_words(3)).unwrap(), 0);
+    }
+
+    #[test]
+    fn get_subscriber_data_reads_record() {
+        let tatp = Tatp::new(
+            HashKv::new(PAddr::new(0), 256),
+            PAddr::new(4096),
+            30,
+            "TATP (hash)",
+        );
+        let mut tx = MapTxn::default();
+        for s in 0..tatp.load_steps() {
+            tatp.load_step(&mut tx, s).unwrap();
+        }
+        tatp.update_location(&mut tx, 9, 777).unwrap();
+        let data = tatp.get_subscriber_data(&mut tx, 9).unwrap();
+        assert_eq!(data, [9, 9, 9, 777]);
+    }
+
+    #[test]
+    fn mixed_workload_runs_both_kinds() {
+        let tatp = Tatp::new(
+            HashKv::new(PAddr::new(0), 256),
+            PAddr::new(4096),
+            20,
+            "TATP (hash)",
+        )
+        .into_mixed(50);
+        let mut tx = MapTxn::default();
+        for s in 0..tatp.load_steps() {
+            tatp.load_step(&mut tx, s).unwrap();
+        }
+        let mut rng = Rng::new(8);
+        for _ in 0..100 {
+            tatp.op(&mut tx, &mut rng, 0).unwrap();
+        }
+        assert!(tatp.name().contains("50%upd"));
+    }
+
+    #[test]
+    fn op_is_single_update() {
+        let tatp = Tatp::new(
+            HashKv::new(PAddr::new(0), 256),
+            PAddr::new(4096),
+            20,
+            "TATP (hash)",
+        );
+        let mut tx = MapTxn::default();
+        for s in 0..tatp.load_steps() {
+            tatp.load_step(&mut tx, s).unwrap();
+        }
+        let mut rng = Rng::new(4);
+        for _ in 0..50 {
+            tatp.op(&mut tx, &mut rng, 0).unwrap();
+        }
+    }
+}

@@ -1,0 +1,554 @@
+//! The TPC-C New-Order transaction (§5.1).
+//!
+//! The paper implements New-Order — "a customer buying different items from
+//! a local warehouse" — as its write-intensive realistic workload, with
+//! both a B+-tree and a hash table as the order-table index. Directly
+//! keyed tables (warehouse, district, customer, item, stock) are flat
+//! record arrays; inserted rows (orders, new-orders, order lines) are
+//! bump-allocated records registered in the KV index under tagged keys.
+//!
+//! The per-district variant of Figure 5 ("each thread serves customer
+//! requests for a fixed district") is available via
+//! [`TpccParams::partition_by_worker`].
+
+use dude_txapi::{PAddr, TxResult, Txn};
+
+use crate::driver::Workload;
+use crate::kv::KvIndex;
+use crate::rng::Rng;
+
+const WAREHOUSE_WORDS: u64 = 2; // [w_tax, w_ytd]
+const DISTRICT_WORDS: u64 = 3; // [d_tax, d_ytd, d_next_o_id]
+const CUSTOMER_WORDS: u64 = 2; // [c_discount, c_balance]
+const ITEM_WORDS: u64 = 1; // [i_price]
+const STOCK_WORDS: u64 = 4; // [s_quantity, s_ytd, s_order_cnt, s_remote_cnt]
+const ORDER_WORDS: u64 = 4; // [o_c_id, o_ol_cnt, o_entry_d, o_d_id]
+const ORDER_LINE_WORDS: u64 = 4; // [ol_i_id, ol_quantity, ol_amount, _pad]
+
+// Index key tags (high byte).
+const TAG_ORDER: u64 = 1 << 56;
+const TAG_NEW_ORDER: u64 = 2 << 56;
+const TAG_ORDER_LINE: u64 = 3 << 56;
+
+/// Scale parameters (shrinkable for tests; paper-scale defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct TpccParams {
+    /// Districts in the single warehouse (TPC-C: 10).
+    pub districts: u64,
+    /// Customers per district (TPC-C: 3000).
+    pub customers_per_district: u64,
+    /// Item catalogue size (TPC-C: 100 000).
+    pub items: u64,
+    /// Capacity of the order/order-line arenas, in orders.
+    pub max_orders: u64,
+    /// Figure 5's low-conflict variant: worker `w` always uses district
+    /// `w % districts`, eliminating next-order-ID conflicts.
+    pub partition_by_worker: bool,
+    /// Percentage of operations that run Payment instead of New-Order
+    /// (extension; the paper measures New-Order only, i.e. 0).
+    pub payment_pct: u64,
+}
+
+impl TpccParams {
+    /// Paper-scale parameters.
+    pub fn standard(max_orders: u64) -> Self {
+        TpccParams {
+            districts: 10,
+            customers_per_district: 3000,
+            items: 100_000,
+            max_orders,
+            partition_by_worker: false,
+            payment_pct: 0,
+        }
+    }
+
+    /// Tiny parameters for functional tests.
+    pub fn tiny() -> Self {
+        TpccParams {
+            districts: 2,
+            customers_per_district: 16,
+            items: 64,
+            max_orders: 4096,
+            partition_by_worker: false,
+            payment_pct: 0,
+        }
+    }
+}
+
+/// The TPC-C New-Order workload over any KV index.
+#[derive(Debug)]
+pub struct Tpcc<K: KvIndex> {
+    kv: K,
+    params: TpccParams,
+    warehouse: PAddr,
+    districts: PAddr,
+    customers: PAddr,
+    items: PAddr,
+    stocks: PAddr,
+    order_bump: PAddr,
+    order_arena: PAddr,
+    ol_bump: PAddr,
+    ol_arena: PAddr,
+    label: String,
+}
+
+impl<K: KvIndex> Tpcc<K> {
+    /// Heap words needed for the flat tables and arenas (the index is
+    /// sized separately).
+    pub fn words_needed(p: &TpccParams) -> u64 {
+        WAREHOUSE_WORDS
+            + p.districts * DISTRICT_WORDS
+            + p.districts * p.customers_per_district * CUSTOMER_WORDS
+            + p.items * ITEM_WORDS
+            + p.items * STOCK_WORDS
+            + 1
+            + p.max_orders * ORDER_WORDS
+            + 1
+            + p.max_orders * 15 * ORDER_LINE_WORDS
+    }
+
+    /// Creates the workload with its tables laid out at `base`.
+    pub fn new(kv: K, base: PAddr, params: TpccParams, label: &str) -> Self {
+        assert!(base.is_word_aligned());
+        let mut cursor = base;
+        let mut take = |words: u64| {
+            let r = cursor;
+            cursor = cursor.add_words(words);
+            r
+        };
+        let warehouse = take(WAREHOUSE_WORDS);
+        let districts = take(params.districts * DISTRICT_WORDS);
+        let customers = take(params.districts * params.customers_per_district * CUSTOMER_WORDS);
+        let items = take(params.items * ITEM_WORDS);
+        let stocks = take(params.items * STOCK_WORDS);
+        let order_bump = take(1);
+        let order_arena = take(params.max_orders * ORDER_WORDS);
+        let ol_bump = take(1);
+        let ol_arena = take(params.max_orders * 15 * ORDER_LINE_WORDS);
+        Tpcc {
+            kv,
+            params,
+            warehouse,
+            districts,
+            customers,
+            items,
+            stocks,
+            order_bump,
+            order_arena,
+            ol_bump,
+            ol_arena,
+            label: label.to_string(),
+        }
+    }
+
+    /// The scale parameters.
+    pub fn params(&self) -> &TpccParams {
+        &self.params
+    }
+
+    fn district_addr(&self, d: u64) -> PAddr {
+        self.districts.add_words(d * DISTRICT_WORDS)
+    }
+
+    fn customer_addr(&self, d: u64, c: u64) -> PAddr {
+        self.customers
+            .add_words((d * self.params.customers_per_district + c) * CUSTOMER_WORDS)
+    }
+
+    fn item_addr(&self, i: u64) -> PAddr {
+        self.items.add_words(i * ITEM_WORDS)
+    }
+
+    fn stock_addr(&self, i: u64) -> PAddr {
+        self.stocks.add_words(i * STOCK_WORDS)
+    }
+
+    fn key_order(d: u64, o: u64) -> u64 {
+        TAG_ORDER | (d << 40) | o
+    }
+
+    fn key_new_order(d: u64, o: u64) -> u64 {
+        TAG_NEW_ORDER | (d << 40) | o
+    }
+
+    fn key_order_line(d: u64, o: u64, l: u64) -> u64 {
+        TAG_ORDER_LINE | (d << 40) | (o << 8) | l
+    }
+
+    /// Bump-allocates `words` from the arena whose cursor is at `bump`.
+    fn bump(
+        &self,
+        tx: &mut dyn Txn,
+        bump: PAddr,
+        arena: PAddr,
+        words: u64,
+        cap_words: u64,
+    ) -> TxResult<PAddr> {
+        tx.declare_write(bump, 1)?;
+        let used = tx.read_word(bump)?;
+        assert!(
+            used + words <= cap_words,
+            "TPC-C arena exhausted; raise TpccParams::max_orders"
+        );
+        tx.write_word(bump, used + words)?;
+        Ok(arena.add_words(used))
+    }
+
+    /// The New-Order transaction body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts.
+    pub fn new_order(
+        &self,
+        tx: &mut dyn Txn,
+        d: u64,
+        c: u64,
+        lines: &[(u64, u64)], // (item, quantity)
+    ) -> TxResult<u64> {
+        let w_tax = tx.read_word(self.warehouse)?;
+        let daddr = self.district_addr(d);
+        let d_tax = tx.read_word(daddr)?;
+        let c_discount = tx.read_word(self.customer_addr(d, c))?;
+        // Allocate the order ID from the district.
+        tx.declare_write(daddr.add_words(2), 1)?;
+        let o_id = tx.read_word(daddr.add_words(2))?;
+        tx.write_word(daddr.add_words(2), o_id + 1)?;
+        // Insert the ORDER and NEW-ORDER rows.
+        let order = self.bump(
+            tx,
+            self.order_bump,
+            self.order_arena,
+            ORDER_WORDS,
+            self.params.max_orders * ORDER_WORDS,
+        )?;
+        tx.declare_write(order, ORDER_WORDS)?;
+        tx.write_word(order, c)?;
+        tx.write_word(order.add_words(1), lines.len() as u64)?;
+        tx.write_word(order.add_words(2), o_id)?;
+        tx.write_word(order.add_words(3), d)?;
+        self.kv.insert(tx, Self::key_order(d, o_id), order.offset())?;
+        self.kv.insert(tx, Self::key_new_order(d, o_id), 1)?;
+        // Order lines with stock updates.
+        let mut total = 0u64;
+        for (l, &(item, qty)) in lines.iter().enumerate() {
+            let price = tx.read_word(self.item_addr(item))?;
+            let saddr = self.stock_addr(item);
+            tx.declare_write(saddr, STOCK_WORDS)?;
+            let s_qty = tx.read_word(saddr)?;
+            let new_qty = if s_qty >= qty + 10 {
+                s_qty - qty
+            } else {
+                s_qty + 91 - qty
+            };
+            tx.write_word(saddr, new_qty)?;
+            let ytd = tx.read_word(saddr.add_words(1))?;
+            tx.write_word(saddr.add_words(1), ytd + qty)?;
+            let cnt = tx.read_word(saddr.add_words(2))?;
+            tx.write_word(saddr.add_words(2), cnt + 1)?;
+            let amount = qty * price;
+            total += amount;
+            let ol = self.bump(
+                tx,
+                self.ol_bump,
+                self.ol_arena,
+                ORDER_LINE_WORDS,
+                self.params.max_orders * 15 * ORDER_LINE_WORDS,
+            )?;
+            tx.declare_write(ol, ORDER_LINE_WORDS)?;
+            tx.write_word(ol, item)?;
+            tx.write_word(ol.add_words(1), qty)?;
+            tx.write_word(ol.add_words(2), amount)?;
+            self.kv
+                .insert(tx, Self::key_order_line(d, o_id, l as u64), ol.offset())?;
+        }
+        // The computed order total (tax/discount applied) — returned so the
+        // workload has a data dependency on every read.
+        Ok(total * (100 + w_tax + d_tax) * (100 - c_discount) / 10_000)
+    }
+
+    /// The Payment transaction body (extension — the paper measures only
+    /// New-Order): pays `amount` from customer `(d, c)`, updating the
+    /// warehouse and district year-to-date totals and the customer balance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts.
+    pub fn payment(&self, tx: &mut dyn Txn, d: u64, c: u64, amount: u64) -> TxResult<()> {
+        tx.declare_write(self.warehouse.add_words(1), 1)?;
+        let w_ytd = tx.read_word(self.warehouse.add_words(1))?;
+        tx.write_word(self.warehouse.add_words(1), w_ytd + amount)?;
+        let daddr = self.district_addr(d).add_words(1);
+        tx.declare_write(daddr, 1)?;
+        let d_ytd = tx.read_word(daddr)?;
+        tx.write_word(daddr, d_ytd + amount)?;
+        let caddr = self.customer_addr(d, c).add_words(1);
+        tx.declare_write(caddr, 1)?;
+        let bal = tx.read_word(caddr)?;
+        tx.write_word(caddr, bal.wrapping_sub(amount))?;
+        Ok(())
+    }
+
+    /// Reads an order row back through the index (used by tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates TM conflicts.
+    pub fn order_customer(&self, tx: &mut dyn Txn, d: u64, o_id: u64) -> TxResult<Option<u64>> {
+        match self.kv.get(tx, Self::key_order(d, o_id))? {
+            Some(off) => Ok(Some(tx.read_word(PAddr::new(off))?)),
+            None => Ok(None),
+        }
+    }
+}
+
+impl<K: KvIndex> Workload for Tpcc<K> {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn load_steps(&self) -> u64 {
+        // Steps: warehouse+districts (1), customers, items, stocks.
+        let p = &self.params;
+        1 + (p.districts * p.customers_per_district).div_ceil(64)
+            + p.items.div_ceil(64)
+            + p.items.div_ceil(16)
+    }
+
+    fn load_step(&self, tx: &mut dyn Txn, step: u64) -> TxResult<()> {
+        let p = &self.params;
+        let customer_steps = (p.districts * p.customers_per_district).div_ceil(64);
+        let item_steps = p.items.div_ceil(64);
+        if step == 0 {
+            tx.declare_write(self.warehouse, WAREHOUSE_WORDS)?;
+            tx.write_word(self.warehouse, 7)?; // w_tax 7%
+            for d in 0..p.districts {
+                let daddr = self.district_addr(d);
+                tx.declare_write(daddr, DISTRICT_WORDS)?;
+                tx.write_word(daddr, 5 + d % 5)?; // d_tax
+                tx.write_word(daddr.add_words(2), 1)?; // d_next_o_id
+            }
+            return Ok(());
+        }
+        let step = step - 1;
+        if step < customer_steps {
+            let lo = step * 64;
+            let hi = (lo + 64).min(p.districts * p.customers_per_district);
+            for i in lo..hi {
+                let (d, c) = (i / p.customers_per_district, i % p.customers_per_district);
+                let addr = self.customer_addr(d, c);
+                tx.declare_write(addr, CUSTOMER_WORDS)?;
+                tx.write_word(addr, i % 50)?; // c_discount
+            }
+            return Ok(());
+        }
+        let step = step - customer_steps;
+        if step < item_steps {
+            let lo = step * 64;
+            let hi = (lo + 64).min(p.items);
+            for i in lo..hi {
+                tx.declare_write(self.item_addr(i), ITEM_WORDS)?;
+                tx.write_word(self.item_addr(i), 100 + (i * 37) % 9900)?; // i_price
+            }
+            return Ok(());
+        }
+        let step = step - item_steps;
+        let lo = step * 16;
+        let hi = (lo + 16).min(p.items);
+        for i in lo..hi {
+            let saddr = self.stock_addr(i);
+            tx.declare_write(saddr, STOCK_WORDS)?;
+            tx.write_word(saddr, 10_000_000)?; // s_quantity (never runs out)
+        }
+        Ok(())
+    }
+
+    fn op(&self, tx: &mut dyn Txn, rng: &mut Rng, worker: usize) -> TxResult<()> {
+        let p = &self.params;
+        let d = if p.partition_by_worker {
+            worker as u64 % p.districts
+        } else {
+            rng.below(p.districts)
+        };
+        let c = rng.below(p.customers_per_district);
+        if p.payment_pct > 0 && rng.below(100) < p.payment_pct {
+            return self.payment(tx, d, c, rng.between(1, 5000));
+        }
+        let n_lines = rng.between(5, 15);
+        let mut lines = Vec::with_capacity(n_lines as usize);
+        for _ in 0..n_lines {
+            lines.push((rng.below(p.items), rng.between(1, 10)));
+        }
+        self.new_order(tx, d, c, &lines)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{BTreeKv, HashKv};
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct MapTxn(HashMap<u64, u64>);
+
+    impl Txn for MapTxn {
+        fn read_word(&mut self, addr: PAddr) -> TxResult<u64> {
+            Ok(*self.0.get(&addr.offset()).unwrap_or(&0))
+        }
+        fn write_word(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+            self.0.insert(addr.offset(), val);
+            Ok(())
+        }
+    }
+
+    fn load<K: KvIndex>(t: &Tpcc<K>, tx: &mut MapTxn) {
+        for s in 0..t.load_steps() {
+            t.load_step(tx, s).unwrap();
+        }
+    }
+
+    #[test]
+    fn new_order_inserts_rows() {
+        let params = TpccParams::tiny();
+        // Index at 0..2^16, tables at 2^16.
+        let tpcc = Tpcc::new(
+            BTreeKv::new(PAddr::new(0), 4096),
+            PAddr::new(1 << 16),
+            params,
+            "TPC-C (B+-tree)",
+        );
+        let mut tx = MapTxn::default();
+        load(&tpcc, &mut tx);
+        let total = tpcc
+            .new_order(&mut tx, 1, 3, &[(5, 2), (9, 1)])
+            .unwrap();
+        assert!(total > 0);
+        // Order 1 in district 1 belongs to customer 3.
+        assert_eq!(tpcc.order_customer(&mut tx, 1, 1).unwrap(), Some(3));
+        assert_eq!(tpcc.order_customer(&mut tx, 1, 2).unwrap(), None);
+        // Stock decremented.
+        let s5 = tx.read_word(tpcc.stock_addr(5)).unwrap();
+        assert_eq!(s5, 10_000_000 - 2);
+    }
+
+    #[test]
+    fn order_ids_are_per_district() {
+        let tpcc = Tpcc::new(
+            HashKv::new(PAddr::new(0), 8192),
+            PAddr::new(1 << 17),
+            TpccParams::tiny(),
+            "TPC-C (hash)",
+        );
+        let mut tx = MapTxn::default();
+        load(&tpcc, &mut tx);
+        tpcc.new_order(&mut tx, 0, 0, &[(1, 1)]).unwrap();
+        tpcc.new_order(&mut tx, 0, 1, &[(2, 1)]).unwrap();
+        tpcc.new_order(&mut tx, 1, 2, &[(3, 1)]).unwrap();
+        assert_eq!(tpcc.order_customer(&mut tx, 0, 1).unwrap(), Some(0));
+        assert_eq!(tpcc.order_customer(&mut tx, 0, 2).unwrap(), Some(1));
+        assert_eq!(tpcc.order_customer(&mut tx, 1, 1).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn workload_ops_run() {
+        let tpcc = Tpcc::new(
+            BTreeKv::new(PAddr::new(0), 16384),
+            PAddr::new(1 << 18),
+            TpccParams::tiny(),
+            "TPC-C (B+-tree)",
+        );
+        let mut tx = MapTxn::default();
+        load(&tpcc, &mut tx);
+        let mut rng = Rng::new(11);
+        for _ in 0..50 {
+            tpcc.op(&mut tx, &mut rng, 0).unwrap();
+        }
+        // 50 orders allocated.
+        assert_eq!(
+            tx.read_word(tpcc.order_bump).unwrap(),
+            50 * ORDER_WORDS
+        );
+    }
+
+    #[test]
+    fn payment_moves_money() {
+        let tpcc = Tpcc::new(
+            BTreeKv::new(PAddr::new(0), 4096),
+            PAddr::new(1 << 16),
+            TpccParams::tiny(),
+            "TPC-C",
+        );
+        let mut tx = MapTxn::default();
+        load(&tpcc, &mut tx);
+        tpcc.payment(&mut tx, 1, 3, 250).unwrap();
+        assert_eq!(tx.read_word(tpcc.warehouse.add_words(1)).unwrap(), 250);
+        assert_eq!(
+            tx.read_word(tpcc.district_addr(1).add_words(1)).unwrap(),
+            250
+        );
+        assert_eq!(
+            tx.read_word(tpcc.customer_addr(1, 3).add_words(1)).unwrap(),
+            0u64.wrapping_sub(250)
+        );
+    }
+
+    #[test]
+    fn mixed_payment_new_order_ops() {
+        let mut params = TpccParams::tiny();
+        params.payment_pct = 50;
+        let tpcc = Tpcc::new(
+            BTreeKv::new(PAddr::new(0), 16384),
+            PAddr::new(1 << 18),
+            params,
+            "TPC-C mixed",
+        );
+        let mut tx = MapTxn::default();
+        load(&tpcc, &mut tx);
+        let mut rng = Rng::new(3);
+        for _ in 0..100 {
+            tpcc.op(&mut tx, &mut rng, 0).unwrap();
+        }
+        // Both kinds ran: some orders allocated, some payments recorded.
+        let orders = tx.read_word(tpcc.order_bump).unwrap() / ORDER_WORDS;
+        let ytd = tx.read_word(tpcc.warehouse.add_words(1)).unwrap();
+        assert!(orders > 20 && orders < 80, "orders: {orders}");
+        assert!(ytd > 0);
+    }
+
+    #[test]
+    fn partitioned_mode_pins_district() {
+        let mut params = TpccParams::tiny();
+        params.partition_by_worker = true;
+        let tpcc = Tpcc::new(
+            BTreeKv::new(PAddr::new(0), 16384),
+            PAddr::new(1 << 18),
+            params,
+            "TPC-C (B+-tree, partitioned)",
+        );
+        let mut tx = MapTxn::default();
+        load(&tpcc, &mut tx);
+        let mut rng = Rng::new(12);
+        for _ in 0..10 {
+            tpcc.op(&mut tx, &mut rng, 1).unwrap(); // worker 1 → district 1
+        }
+        // District 1 issued all ten order IDs; district 0 none.
+        let d1_next = tx.read_word(tpcc.district_addr(1).add_words(2)).unwrap();
+        let d0_next = tx.read_word(tpcc.district_addr(0).add_words(2)).unwrap();
+        assert_eq!(d1_next, 11);
+        assert_eq!(d0_next, 1);
+    }
+
+    #[test]
+    fn words_needed_is_consistent() {
+        let p = TpccParams::tiny();
+        let need = Tpcc::<BTreeKv>::words_needed(&p);
+        assert!(need > 0);
+        // Creating at base 0 with that many words stays within bounds: the
+        // last arena word is addressable.
+        let tpcc = Tpcc::new(BTreeKv::new(PAddr::new(1 << 20), 16), PAddr::new(0), p, "x");
+        let last = tpcc.ol_arena.add_words(p.max_orders * 15 * ORDER_LINE_WORDS - 1);
+        assert!(last.word_index() < need);
+    }
+}

@@ -1,0 +1,123 @@
+//! The YCSB "Session Store" workload (§5.4).
+//!
+//! A key-value store preloaded with `records` entries; operations are a
+//! 50/50 read/update mix with keys drawn from a Zipfian distribution
+//! (constant 0.99 in Figure 3; 0.99 and 1.07 in Figure 4). The heavy skew
+//! is what makes cross-transaction log combination so effective.
+
+use dude_txapi::{TxResult, Txn};
+
+use crate::driver::Workload;
+use crate::kv::KvIndex;
+use crate::rng::{Rng, Zipf};
+
+/// The session-store workload over any KV index.
+#[derive(Debug)]
+pub struct SessionStore<K: KvIndex> {
+    kv: K,
+    records: u64,
+    zipf: Zipf,
+    /// Update probability in percent (paper: 50).
+    update_pct: u64,
+    label: String,
+}
+
+impl<K: KvIndex> SessionStore<K> {
+    /// Creates the workload: `records` preloaded keys, Zipfian skew
+    /// `theta`, `update_pct`% updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is zero or `update_pct > 100`.
+    pub fn new(kv: K, records: u64, theta: f64, update_pct: u64, label: &str) -> Self {
+        assert!(records > 0);
+        assert!(update_pct <= 100);
+        SessionStore {
+            kv,
+            records,
+            zipf: Zipf::new(records, theta),
+            update_pct,
+            label: label.to_string(),
+        }
+    }
+
+    /// Number of preloaded records.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+impl<K: KvIndex> Workload for SessionStore<K> {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn load_steps(&self) -> u64 {
+        self.records.div_ceil(64)
+    }
+
+    fn load_step(&self, tx: &mut dyn Txn, step: u64) -> TxResult<()> {
+        let lo = step * 64;
+        let hi = (lo + 64).min(self.records);
+        for k in lo..hi {
+            self.kv.insert(tx, k, k)?;
+        }
+        Ok(())
+    }
+
+    fn op(&self, tx: &mut dyn Txn, rng: &mut Rng, _worker: usize) -> TxResult<()> {
+        let key = self.zipf.sample(rng);
+        if rng.below(100) < self.update_pct {
+            self.kv.insert(tx, key, rng.next_u64())?;
+        } else {
+            let _ = self.kv.get(tx, key)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::BTreeKv;
+    use dude_txapi::PAddr;
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct MapTxn(HashMap<u64, u64>);
+
+    impl Txn for MapTxn {
+        fn read_word(&mut self, addr: PAddr) -> TxResult<u64> {
+            Ok(*self.0.get(&addr.offset()).unwrap_or(&0))
+        }
+        fn write_word(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+            self.0.insert(addr.offset(), val);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn load_then_ops() {
+        let store = SessionStore::new(
+            BTreeKv::new(PAddr::new(0), 1024),
+            100,
+            0.99,
+            50,
+            "YCSB (B+-tree)",
+        );
+        let mut tx = MapTxn::default();
+        for s in 0..store.load_steps() {
+            store.load_step(&mut tx, s).unwrap();
+        }
+        // All loaded keys resolve.
+        for k in 0..100 {
+            assert_eq!(store.kv.get(&mut tx, k).unwrap(), Some(k));
+        }
+        let mut rng = Rng::new(9);
+        for _ in 0..200 {
+            store.op(&mut tx, &mut rng, 0).unwrap();
+        }
+        assert_eq!(store.name(), "YCSB (B+-tree)");
+        assert_eq!(store.records(), 100);
+    }
+}

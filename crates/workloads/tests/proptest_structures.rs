@@ -1,0 +1,100 @@
+//! Property tests: the transactional data structures against model maps.
+
+use std::collections::HashMap;
+
+use dude_txapi::{PAddr, TxResult, Txn};
+use dude_workloads::btree::BTree;
+use dude_workloads::hashtable::HashTable;
+use proptest::prelude::*;
+
+#[derive(Default)]
+struct MapTxn(HashMap<u64, u64>);
+
+impl Txn for MapTxn {
+    fn read_word(&mut self, addr: PAddr) -> TxResult<u64> {
+        Ok(*self.0.get(&addr.offset()).unwrap_or(&0))
+    }
+    fn write_word(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+        self.0.insert(addr.offset(), val);
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Get(u64),
+}
+
+fn ops(keys: u64, n: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..keys, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            (0..keys).prop_map(Op::Get),
+        ],
+        0..n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The B+-tree behaves exactly like a map under arbitrary operation
+    /// sequences (duplicates, updates, misses, splits).
+    #[test]
+    fn btree_matches_model(ops in ops(300, 400)) {
+        let tree = BTree::new(PAddr::new(0), 4096);
+        let mut tx = MapTxn::default();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(&mut tx, k, v).unwrap(), model.insert(k, v));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&mut tx, k).unwrap(), model.get(&k).copied());
+                }
+            }
+        }
+        // Full sweep at the end.
+        for (k, v) in &model {
+            prop_assert_eq!(tree.get(&mut tx, *k).unwrap(), Some(*v));
+        }
+    }
+
+    /// The hash table behaves exactly like a map (bounded occupancy).
+    #[test]
+    fn hashtable_matches_model(ops in ops(96, 400)) {
+        let table = HashTable::new(PAddr::new(0), 256);
+        let mut tx = MapTxn::default();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(table.insert(&mut tx, k, v).unwrap(), model.insert(k, v));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(table.get(&mut tx, k).unwrap(), model.get(&k).copied());
+                }
+            }
+        }
+    }
+
+    /// Zipf sampling always stays within the population and is monotone in
+    /// popularity (rank 0 sampled at least as often as rank n-1 over a
+    /// large sample).
+    #[test]
+    fn zipf_bounds(n in 2u64..500, seed in any::<u64>()) {
+        let z = dude_workloads::rng::Zipf::new(n, 0.99);
+        let mut rng = dude_workloads::rng::Rng::new(seed);
+        let mut first = 0u64;
+        let mut last = 0u64;
+        for _ in 0..2000 {
+            let s = z.sample(&mut rng);
+            prop_assert!(s < n);
+            if s == 0 { first += 1; }
+            if s == n - 1 { last += 1; }
+        }
+        prop_assert!(first >= last);
+    }
+}

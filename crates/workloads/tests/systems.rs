@@ -1,0 +1,296 @@
+//! Cross-system integration: the same workloads run over DudeTM, the
+//! volatile upper bound and both baselines, and produce consistent state.
+
+use std::sync::Arc;
+
+use dude_baselines::{BaselineConfig, Mnemosyne, NvmlLike, VolatileStm};
+use dude_nvm::{Nvm, NvmConfig};
+use dude_txapi::{PAddr, TxnSystem, TxnThread};
+use dude_workloads::bank::Bank;
+use dude_workloads::driver::{load_workload, run_fixed_ops, RunConfig};
+use dude_workloads::hashtable::HashTable;
+use dude_workloads::kv::{BTreeKv, HashKv};
+use dude_workloads::micro::HashInsertBench;
+use dude_workloads::tatp::Tatp;
+use dude_workloads::tpcc::{Tpcc, TpccParams};
+use dude_workloads::ycsb::SessionStore;
+use dudetm::{DudeTm, DudeTmConfig, DurabilityMode};
+
+const HEAP: u64 = 8 << 20;
+
+fn dude_system(mode: DurabilityMode) -> DudeTm<dude_stm::Stm> {
+    let nvm = Arc::new(Nvm::new(NvmConfig::for_testing(24 << 20)));
+    let config = DudeTmConfig {
+        max_threads: 8,
+        ..DudeTmConfig::small(HEAP)
+    }
+    .with_durability(mode);
+    DudeTm::create_stm(nvm, config)
+}
+
+fn bank_total<S: TxnSystem>(sys: &S, bank: &Bank) -> u64 {
+    let mut t = sys.register_thread();
+    t.run(&mut |tx| bank.total(tx)).expect_committed()
+}
+
+/// Bank transfers conserve the total on every system.
+#[test]
+fn bank_conserves_on_every_system() {
+    let bank = Bank::new(PAddr::new(64), 64, 100);
+    let cfg = RunConfig {
+        threads: 2,
+        ..RunConfig::default()
+    };
+
+    // DudeTM (async) and DudeTM-Sync.
+    for mode in [
+        DurabilityMode::Async { buffer_txns: 256 },
+        DurabilityMode::Sync,
+    ] {
+        let sys = dude_system(mode);
+        load_workload(&sys, &bank);
+        let stats = run_fixed_ops(&sys, &bank, cfg, 300);
+        assert!(stats.committed > 0, "{}", sys.name());
+        assert_eq!(bank_total(&sys, &bank), 6400, "{}", sys.name());
+        sys.quiesce();
+    }
+
+    // Volatile-STM.
+    let sys = VolatileStm::new(HEAP);
+    load_workload(&sys, &bank);
+    run_fixed_ops(&sys, &bank, cfg, 300);
+    assert_eq!(bank_total(&sys, &bank), 6400);
+
+    // Mnemosyne.
+    let nvm = Arc::new(Nvm::new(NvmConfig::for_testing(24 << 20)));
+    let sys = Mnemosyne::create(nvm, BaselineConfig::small(HEAP));
+    load_workload(&sys, &bank);
+    run_fixed_ops(&sys, &bank, cfg, 300);
+    assert_eq!(bank_total(&sys, &bank), 6400);
+
+    // NVML (static transactions: bank declares its writes).
+    let nvm = Arc::new(Nvm::new(NvmConfig::for_testing(24 << 20)));
+    let sys = NvmlLike::create(nvm, BaselineConfig::small(HEAP));
+    load_workload(&sys, &bank);
+    run_fixed_ops(&sys, &bank, cfg, 300);
+    assert_eq!(bank_total(&sys, &bank), 6400);
+}
+
+/// Hash-table inserts land identically on DudeTM and Volatile-STM for the
+/// same seed (single-threaded determinism).
+#[test]
+fn deterministic_single_thread_equivalence() {
+    let table = HashTable::new(PAddr::new(64), 4096);
+    let bench = HashInsertBench::new(table, 1024);
+    let cfg = RunConfig {
+        threads: 1,
+        seed: 7,
+        ..RunConfig::default()
+    };
+
+    let dude = dude_system(DurabilityMode::Async { buffer_txns: 256 });
+    run_fixed_ops(&dude, &bench, cfg, 500);
+    let vol = VolatileStm::new(HEAP);
+    run_fixed_ops(&vol, &bench, cfg, 500);
+
+    let mut td = dude.register_thread();
+    let mut tv = vol.register_thread();
+    for k in 0..1024u64 {
+        let a = td.run(&mut |tx| table.get(tx, k)).expect_committed();
+        let b = tv.run(&mut |tx| table.get(tx, k)).expect_committed();
+        assert_eq!(a, b, "key {k} differs between systems");
+    }
+}
+
+/// TPC-C runs on DudeTM with both index kinds and the state checks out.
+#[test]
+fn tpcc_on_dudetm_both_indexes() {
+    let params = TpccParams {
+        districts: 4,
+        customers_per_district: 32,
+        items: 128,
+        max_orders: 4096,
+        partition_by_worker: false,
+        payment_pct: 0,
+    };
+    // B+-tree variant.
+    {
+        let sys = dude_system(DurabilityMode::Async { buffer_txns: 256 });
+        let tpcc = Tpcc::new(
+            BTreeKv::new(PAddr::new(64), 16384),
+            PAddr::new(4 << 20),
+            params,
+            "TPC-C (B+-tree)",
+        );
+        load_workload(&sys, &tpcc);
+        let stats = run_fixed_ops(
+            &sys,
+            &tpcc,
+            RunConfig {
+                threads: 2,
+                ..RunConfig::default()
+            },
+            100,
+        );
+        assert_eq!(stats.committed, 200);
+        // Order IDs issued = orders indexed.
+        let mut t = sys.register_thread();
+        let mut orders = 0u64;
+        for d in 0..params.districts {
+            for o in 1..1000 {
+                if t.run(&mut |tx| tpcc.order_customer(tx, d, o))
+                    .expect_committed()
+                    .is_some()
+                {
+                    orders += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        assert_eq!(orders, 200);
+    }
+    // Hash variant.
+    {
+        let sys = dude_system(DurabilityMode::Async { buffer_txns: 256 });
+        let tpcc = Tpcc::new(
+            HashKv::new(PAddr::new(64), 65536),
+            PAddr::new(4 << 20),
+            params,
+            "TPC-C (hash)",
+        );
+        load_workload(&sys, &tpcc);
+        let stats = run_fixed_ops(
+            &sys,
+            &tpcc,
+            RunConfig {
+                threads: 2,
+                ..RunConfig::default()
+            },
+            50,
+        );
+        assert_eq!(stats.committed, 100);
+    }
+}
+
+/// TPC-C (hash) also runs on the static-transaction NVML baseline.
+#[test]
+fn tpcc_hash_on_nvml() {
+    let params = TpccParams {
+        districts: 2,
+        customers_per_district: 16,
+        items: 64,
+        max_orders: 1024,
+        partition_by_worker: false,
+        payment_pct: 0,
+    };
+    let nvm = Arc::new(Nvm::new(NvmConfig::for_testing(32 << 20)));
+    let sys = NvmlLike::create(
+        nvm,
+        BaselineConfig {
+            heap_bytes: 16 << 20,
+            max_threads: 8,
+            log_bytes_per_thread: 1 << 20,
+        },
+    );
+    let tpcc = Tpcc::new(
+        HashKv::new(PAddr::new(64), 65536),
+        PAddr::new(4 << 20),
+        params,
+        "TPC-C (hash)",
+    );
+    load_workload(&sys, &tpcc);
+    let stats = run_fixed_ops(
+        &sys,
+        &tpcc,
+        RunConfig {
+            threads: 2,
+            ..RunConfig::default()
+        },
+        25,
+    );
+    assert_eq!(stats.committed, 50);
+}
+
+/// TATP over DudeTM: every update lands in the record region.
+#[test]
+fn tatp_on_dudetm() {
+    let sys = dude_system(DurabilityMode::Async { buffer_txns: 256 });
+    let tatp = Tatp::new(
+        HashKv::new(PAddr::new(64), 8192),
+        PAddr::new(2 << 20),
+        500,
+        "TATP (hash)",
+    );
+    load_workload(&sys, &tatp);
+    let stats = run_fixed_ops(
+        &sys,
+        &tatp,
+        RunConfig {
+            threads: 2,
+            ..RunConfig::default()
+        },
+        250,
+    );
+    assert_eq!(stats.committed, 500);
+    sys.quiesce();
+}
+
+/// YCSB over DudeTM with grouping + compression enabled (Figure 3's
+/// configuration) keeps the store consistent and reports savings.
+#[test]
+fn ycsb_with_log_combination() {
+    let nvm = Arc::new(Nvm::new(NvmConfig::for_testing(24 << 20)));
+    let config = DudeTmConfig {
+        max_threads: 8,
+        ..DudeTmConfig::small(HEAP)
+    }
+    .with_grouping(32, true);
+    let sys = DudeTm::create_stm(nvm, config);
+    let store = SessionStore::new(
+        BTreeKv::new(PAddr::new(64), 32768),
+        1000,
+        0.99,
+        50,
+        "YCSB (B+-tree)",
+    );
+    load_workload(&sys, &store);
+    run_fixed_ops(
+        &sys,
+        &store,
+        RunConfig {
+            threads: 2,
+            ..RunConfig::default()
+        },
+        500,
+    );
+    sys.quiesce();
+    let stats = sys.pipeline_stats();
+    assert!(stats.groups_persisted > 0);
+    assert!(
+        stats.combine_savings() > 0.0,
+        "zipfian updates must coalesce"
+    );
+}
+
+/// Durable-latency sampling works against the real pipeline.
+#[test]
+fn latency_sampling_on_dudetm() {
+    let sys = dude_system(DurabilityMode::Async { buffer_txns: 256 });
+    let bank = Bank::new(PAddr::new(64), 32, 100);
+    load_workload(&sys, &bank);
+    let stats = run_fixed_ops(
+        &sys,
+        &bank,
+        RunConfig {
+            threads: 2,
+            latency: dude_workloads::LatencyMode::DurableAck { sample_every: 2 },
+            ..RunConfig::default()
+        },
+        200,
+    );
+    let lat = stats.latency.expect("latency enabled");
+    assert!(lat.samples > 100);
+    assert!(lat.p50 > 0);
+    assert!(lat.p50 <= lat.p99);
+}

@@ -1,0 +1,119 @@
+//! TPC-C New-Order on four systems (a miniature Table 2).
+//!
+//! Runs the paper's write-intensive OLTP workload — with a hash index so
+//! the static-transaction NVML-like baseline can participate — on DudeTM,
+//! DudeTM-Sync, the Mnemosyne-like baseline, and the NVML-like baseline,
+//! with the paper's NVM cost model enabled (1 GB/s, 1000-cycle latency).
+//!
+//! Run with: `cargo run --release --example tpcc`
+
+use std::sync::Arc;
+
+use dude_baselines::{BaselineConfig, Mnemosyne, NvmlLike};
+use dude_nvm::{Nvm, NvmConfig, TimingConfig};
+use dude_txapi::{PAddr, TxnSystem};
+use dude_workloads::driver::{load_workload, run_fixed_ops, RunConfig, RunStats};
+use dude_workloads::kv::HashKv;
+use dude_workloads::tpcc::{Tpcc, TpccParams};
+use dudetm::{DudeTm, DudeTmConfig, DurabilityMode};
+
+const HEAP: u64 = 48 << 20;
+const DEVICE: u64 = 96 << 20;
+const OPS_PER_THREAD: u64 = 2_500;
+const THREADS: usize = 4;
+
+fn workload() -> Tpcc<HashKv> {
+    let params = TpccParams {
+        districts: 10,
+        customers_per_district: 512,
+        items: 10_000,
+        max_orders: OPS_PER_THREAD * THREADS as u64 + 1024,
+        partition_by_worker: false,
+        payment_pct: 0,
+    };
+    Tpcc::new(
+        HashKv::new(PAddr::new(64), 1 << 20),
+        PAddr::new(20 << 20),
+        params,
+        "TPC-C (hash)",
+    )
+}
+
+fn measure<S: TxnSystem>(sys: &S) -> RunStats {
+    let w = workload();
+    eprintln!("[{}] loading...", sys.name());
+    let t0 = std::time::Instant::now();
+    load_workload(sys, &w);
+    eprintln!("[{}] loaded in {:.1?}, measuring...", sys.name(), t0.elapsed());
+    run_fixed_ops(
+        sys,
+        &w,
+        RunConfig {
+            threads: THREADS,
+            ..RunConfig::default()
+        },
+        OPS_PER_THREAD,
+    )
+}
+
+fn nvm() -> Arc<Nvm> {
+    Arc::new(Nvm::new(NvmConfig::for_benchmark(
+        DEVICE,
+        TimingConfig::paper_default(),
+    )))
+}
+
+fn main() {
+    let mut rows: Vec<(String, f64)> = Vec::new();
+
+    for mode in [
+        DurabilityMode::Async { buffer_txns: 16384 },
+        DurabilityMode::Sync,
+    ] {
+        let config = DudeTmConfig {
+            heap_bytes: HEAP,
+            max_threads: THREADS + 2,
+            ..DudeTmConfig::small(HEAP)
+        }
+        .with_durability(mode);
+        let sys = DudeTm::create_stm(nvm(), config);
+        let stats = measure(&sys);
+        sys.quiesce();
+        eprintln!("[{}] done: {:.1} KTPS", TxnSystem::name(&sys), stats.throughput / 1e3);
+        rows.push((TxnSystem::name(&sys).to_string(), stats.throughput));
+    }
+    {
+        let sys = Mnemosyne::create(
+            nvm(),
+            BaselineConfig {
+                heap_bytes: HEAP,
+                max_threads: THREADS + 2,
+                log_bytes_per_thread: 4 << 20,
+            },
+        );
+        let stats = measure(&sys);
+        rows.push((sys.name().to_string(), stats.throughput));
+    }
+    {
+        let sys = NvmlLike::create(
+            nvm(),
+            BaselineConfig {
+                heap_bytes: HEAP,
+                max_threads: THREADS + 2,
+                log_bytes_per_thread: 4 << 20,
+            },
+        );
+        let stats = measure(&sys);
+        rows.push((sys.name().to_string(), stats.throughput));
+    }
+
+    println!("\nTPC-C New-Order (hash index), {THREADS} threads, 1 GB/s NVM:");
+    let dude_tps = rows[0].1;
+    for (name, tps) in &rows {
+        println!(
+            "  {name:<12} {:>9.1} KTPS   ({:.2}x vs DudeTM)",
+            tps / 1e3,
+            tps / dude_tps
+        );
+    }
+}
