@@ -285,7 +285,8 @@ mod tests {
         let (nvm, config) = setup(1 << 16);
         let sys = Mnemosyne::create(Arc::clone(&nvm), config);
         let mut t = sys.register_thread();
-        t.run(&mut |tx| tx.write_word(PAddr::new(0), 42)).expect_committed();
+        t.run(&mut |tx| tx.write_word(PAddr::new(0), 42))
+            .expect_committed();
         assert_eq!(nvm.read_word(sys.heap_region().start()), 42);
     }
 

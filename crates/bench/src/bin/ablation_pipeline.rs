@@ -23,7 +23,11 @@ fn main() {
         "Ablation — volatile log buffer size (TPC-C hash, DudeTM)",
         &["buffer (txns/thread)", "throughput"],
     );
-    let sizes: &[usize] = if quick { &[16, 16_384] } else { &[4, 64, 1_024, 16_384] };
+    let sizes: &[usize] = if quick {
+        &[16, 16_384]
+    } else {
+        &[4, 64, 1_024, 16_384]
+    };
     for &buffer in sizes {
         let mut env = base;
         env.durability = DurabilityMode::Async {
@@ -45,7 +49,11 @@ fn main() {
     // `BenchEnv` pins one persist thread; emulate the sweep via config by
     // reusing run_combo with modified env is not wired for this knob, so
     // construct directly.
-    for &threads in if quick { &[1usize, 2][..] } else { &[1usize, 2, 4][..] } {
+    for &threads in if quick {
+        &[1usize, 2][..]
+    } else {
+        &[1usize, 2, 4][..]
+    } {
         use dude_workloads::driver::RunConfig;
         let env = base;
         let nvm = std::sync::Arc::new(dude_nvm::Nvm::new(dude_nvm::NvmConfig::for_benchmark(
@@ -77,6 +85,12 @@ fn main() {
             env.ops_per_thread(),
         );
         sys.quiesce();
+        // The lag surface: after quiesce the three watermarks coincide and
+        // the snapshot shows what the run put through each stage.
+        println!(
+            "  pipeline [{threads} persist threads]: {}",
+            sys.stats_snapshot().summary()
+        );
         table.push(vec![threads.to_string(), fmt_tps(stats.throughput)]);
     }
     table.print();
@@ -87,7 +101,11 @@ fn main() {
         "Ablation — reproduce checkpoint cadence (TPC-C hash, DudeTM)",
         &["checkpoint every (txns)", "throughput"],
     );
-    for &every in if quick { &[8u64, 512][..] } else { &[1u64, 8, 64, 512][..] } {
+    for &every in if quick {
+        &[8u64, 512][..]
+    } else {
+        &[1u64, 8, 64, 512][..]
+    } {
         use dude_workloads::driver::RunConfig;
         let env = base;
         let nvm = std::sync::Arc::new(dude_nvm::Nvm::new(dude_nvm::NvmConfig::for_benchmark(

@@ -24,7 +24,11 @@ use dudetm::{DudeTm, DudeTmConfig};
 fn main() {
     let quick = quick_flag();
     let env = BenchEnv::from_quick(quick);
-    let groups: &[usize] = if quick { &[1, 100] } else { &[1, 10, 100, 1_000] };
+    let groups: &[usize] = if quick {
+        &[1, 100]
+    } else {
+        &[1, 10, 100, 1_000]
+    };
 
     let mut table = Table::new(
         "Endurance — line wear vs log combination (YCSB, zipf 0.99)",

@@ -32,7 +32,10 @@ fn main() {
 
     for workload in workloads {
         let mut table = Table::new(
-            &format!("Figure 2 — {} throughput vs NVM bandwidth", workload.label()),
+            &format!(
+                "Figure 2 — {} throughput vs NVM bandwidth",
+                workload.label()
+            ),
             &["system", "1 GB/s", "4 GB/s", "8 GB/s", "16 GB/s"],
         );
         for system in systems {

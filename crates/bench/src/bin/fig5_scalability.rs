@@ -43,11 +43,7 @@ fn main() {
             reps,
         );
         if n == threads[0] {
-            base_tput = [
-                vol.run.throughput,
-                dude.run.throughput,
-                part.run.throughput,
-            ];
+            base_tput = [vol.run.throughput, dude.run.throughput, part.run.throughput];
         }
         table.push(vec![
             n.to_string(),

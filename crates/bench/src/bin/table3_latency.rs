@@ -36,11 +36,7 @@ fn main() {
         let cell = run_combo(system, workload, &env);
         cols.push(cell.run.latency.expect("latency sampling enabled"));
     }
-    for (label, pick) in [
-        ("50%", 0usize),
-        ("90%", 1),
-        ("99%", 2),
-    ] {
+    for (label, pick) in [("50%", 0usize), ("90%", 1), ("99%", 2)] {
         let mut row = vec![label.to_string()];
         for lat in &cols {
             let v = match pick {

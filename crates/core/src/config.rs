@@ -107,6 +107,15 @@ impl DudeTmConfig {
                 !matches!(self.durability, DurabilityMode::Sync),
                 "log combination requires the asynchronous pipeline"
             );
+            // Grouping merges every thread's records into global ID order
+            // on one thread; extra persist threads would silently never be
+            // spawned, so reject the combination instead of ignoring it.
+            assert!(
+                self.persist_threads == 1,
+                "log combination (persist_group > 1) runs on a single persist \
+                 thread; persist_threads must be 1, got {}",
+                self.persist_threads
+            );
         }
         if let DurabilityMode::Async { buffer_txns } = self.durability {
             assert!(buffer_txns >= 1);
@@ -141,6 +150,14 @@ mod tests {
             .with_durability(DurabilityMode::Sync)
             .with_grouping(10, false)
             .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "persist_threads must be 1")]
+    fn grouping_with_multiple_persist_threads_rejected() {
+        let mut c = DudeTmConfig::small(1 << 20).with_grouping(8, false);
+        c.persist_threads = 2;
+        c.validate();
     }
 
     #[test]

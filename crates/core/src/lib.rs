@@ -64,7 +64,7 @@ pub use recovery::{recover_device, RecoverError, RecoveryReport};
 pub use runtime::{dtm_abort, DtmThread, DtmTx, DudeTm, NvmLayout, RedoHooks};
 pub use seqtrack::SequenceTracker;
 pub use shadow::{PagingMode, ShadowConfig, ShadowMem, ShadowStats, ShadowView, PAGE_BYTES};
-pub use stats::{PipelineStats, PipelineStatsSnapshot};
+pub use stats::{PipelineSnapshot, PipelineStats, PipelineStatsSnapshot};
 
 use std::sync::Arc;
 

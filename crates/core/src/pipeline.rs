@@ -80,7 +80,10 @@ fn try_stage_record(
         LogRecord::Commit { writes, .. } => writes,
         LogRecord::Abort { .. } => Vec::new(),
     };
-    shared.stats.records_persisted.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .records_persisted
+        .fetch_add(1, Ordering::Relaxed);
     shared
         .stats
         .entries_logged
@@ -265,6 +268,13 @@ pub(crate) fn persist_worker_grouped(
         {
             heap.pop();
             let rec = stash.remove(&expected).expect("stashed record");
+            // `last_flush` is really "when the current group started": a
+            // stale value from an idle period would make the hold timer
+            // expire immediately and flush a group of one, so restart it
+            // when the group goes empty → non-empty.
+            if current.is_empty() {
+                last_flush = Instant::now();
+            }
             current.push(rec);
             expected += 1;
             if current.len() >= group {

@@ -1,15 +1,16 @@
 //! Crash recovery (§3.5).
 //!
-//! Recovery scans the persistent log regions, collects every intact record
-//! with a transaction ID above the durable reproduced-ID checkpoint, and
-//! replays them **in increasing ID order until the first gap**. A gap means
-//! the missing transaction's log never became durable; it — and everything
-//! after it, which could causally depend on it — is discarded. Transactions
-//! whose durability was acknowledged can never be part of the discarded
-//! tail, because acknowledgement requires the durable ID to cover them,
-//! which requires every smaller ID to be persisted.
+//! Recovery scans the persistent log regions, collects every intact record,
+//! and replays them **in increasing ID order until the first gap above the
+//! durable reproduced-ID checkpoint**. A gap means the missing transaction's
+//! log never became durable; it — and everything after it, which could
+//! causally depend on it — is discarded. Transactions whose durability was
+//! acknowledged can never be part of the discarded tail, because
+//! acknowledgement requires the durable ID to cover them, which requires
+//! every smaller ID to be persisted. Records at or below the checkpoint are
+//! replayed too (idempotent redo): a torn crash can persist the checkpoint
+//! word while losing a flushed-but-unfenced data line it claims to cover.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use dude_nvm::Nvm;
@@ -99,38 +100,90 @@ pub fn recover_device(
     }
     let checkpoint = nvm.read_word(layout.meta.start() + META_REPRODUCED * 8);
 
-    // Collect intact records beyond the checkpoint from every log ring.
-    let mut records = HashMap::new();
+    // Collect every intact record from every log ring, in transaction-ID
+    // order. Records at or below the checkpoint are NOT skipped: on real
+    // hardware, flushed lines can drain in any order before the fence, so
+    // a crash inside the checkpoint's `CLWB`/`SFENCE` window can persist
+    // the checkpoint word while tearing a data line it claims to cover
+    // (the emulator's torn-cache-line crash reproduces this). The covering
+    // records are provably still intact — log spans are recycled only
+    // after their checkpoint's fence completes, and a completed fence
+    // makes the data durable — so replaying every intact record in ID
+    // order (idempotent redo: each record carries final values for its
+    // range) repairs any such hole. The same rule absorbs a *group* record
+    // straddling the checkpoint (`first_tid <= checkpoint < last_tid`).
+    let mut records = Vec::new();
     for &region in &layout.plogs {
-        for rec in scan_region(nvm, region) {
-            if rec.first_tid > checkpoint {
-                records.insert(rec.first_tid, rec);
-            }
-        }
+        records.extend(scan_region(nvm, region));
+    }
+    records.sort_by_key(|rec| rec.first_tid);
+    // Overlapping ranges would both claim some ID; there is no way to pick
+    // a winner, so reject loudly rather than replay an arbitrary history.
+    for pair in records.windows(2) {
+        assert!(
+            pair[0].last_tid < pair[1].first_tid,
+            "recovery: records {}..={} and {}..={} overlap — ambiguous log",
+            pair[0].first_tid,
+            pair[0].last_tid,
+            pair[1].first_tid,
+            pair[1].last_tid
+        );
     }
 
-    // Replay the dense prefix.
+    // Replay in ID order. Above the checkpoint the dense-prefix rule
+    // applies: the first gap means that transaction's log never became
+    // durable, and everything after it is discarded.
     let mut expected = checkpoint + 1;
     let mut replayed = 0u64;
-    while let Some(rec) = records.remove(&expected) {
+    let mut discarded = 0u64;
+    for rec in records {
+        if rec.first_tid > expected {
+            // Gap: this record and all later ones (sorted order) sit beyond
+            // it. Each discarded record may cover a whole group.
+            discarded += rec.last_tid - rec.first_tid + 1;
+            continue;
+        }
         for &(addr, val) in &rec.writes {
             let off = layout.heap.start() + addr;
             nvm.write_word(off, val);
             nvm.flush(off, 8);
         }
-        replayed += rec.last_tid - rec.first_tid + 1;
-        expected = rec.last_tid + 1;
+        if rec.last_tid >= expected {
+            // Count only IDs not already covered by the checkpoint.
+            replayed += rec.last_tid - expected + 1;
+            expected = rec.last_tid + 1;
+        }
     }
     let last_tid = expected - 1;
     nvm.write_word(layout.meta.start() + META_REPRODUCED * 8, last_tid);
     nvm.flush(layout.meta.start() + META_REPRODUCED * 8, 8);
     nvm.fence();
 
+    // Wipe the log regions. Every surviving record is now at or below the
+    // durable checkpoint, i.e. dead — but physically present. The restarted
+    // runtime re-uses transaction IDs starting at `last_tid + 1`, so a
+    // *later* crash would let these stale records alias freshly-logged IDs
+    // and corrupt that recovery. Ordering matters: the checkpoint fence
+    // above happens first, so a crash mid-wipe leaves only records the
+    // checkpoint already filters out (or half-zeroed ones whose checksums
+    // no longer verify).
+    for &region in &layout.plogs {
+        let mut off = region.start();
+        while off < region.end() {
+            if nvm.read_word(off) != 0 {
+                nvm.write_word(off, 0);
+                nvm.flush(off, 8);
+            }
+            off += 8;
+        }
+    }
+    nvm.fence();
+
     let report = RecoveryReport {
         checkpoint,
         last_tid,
         replayed,
-        discarded: records.len() as u64,
+        discarded,
     };
     Ok((layout, report))
 }

@@ -16,7 +16,7 @@ use crate::pipeline::{persist_worker, persist_worker_grouped, reproduce_worker, 
 use crate::plog::PlogRing;
 use crate::seqtrack::SequenceTracker;
 use crate::shadow::ShadowMem;
-use crate::stats::{PipelineStats, PipelineStatsSnapshot};
+use crate::stats::{PipelineSnapshot, PipelineStats, PipelineStatsSnapshot};
 
 /// Magic number identifying a formatted DudeTM device.
 pub(crate) const META_MAGIC: u64 = 0xD00D_E7A6_0001_CAFE;
@@ -208,6 +208,21 @@ impl<E: TmEngine> DudeTm<E> {
     pub fn create_with(nvm: Arc<Nvm>, config: DudeTmConfig, engine: E) -> Self {
         config.validate();
         let layout = NvmLayout::compute(nvm.size_bytes(), &config);
+        // Wipe the log regions: a re-formatted device may still carry intact
+        // records from a previous generation, and recovery (which trusts any
+        // record it can checksum) must never see them alias this generation's
+        // transaction IDs after a crash.
+        for &region in &layout.plogs {
+            let mut off = region.start();
+            while off < region.end() {
+                if nvm.read_word(off) != 0 {
+                    nvm.write_word(off, 0);
+                    nvm.flush(off, 8);
+                }
+                off += 8;
+            }
+        }
+        nvm.fence();
         // Format the metadata block.
         nvm.write_word(layout.meta.start() + META_MAGIC_WORD * 8, META_MAGIC);
         nvm.write_word(layout.meta.start() + META_VERSION_WORD * 8, META_VERSION);
@@ -367,6 +382,20 @@ impl<E: TmEngine> DudeTm<E> {
         self.shared.stats.snapshot()
     }
 
+    /// Point-in-time view of the whole pipeline: the per-stage counters
+    /// plus the committed/durable/reproduced watermarks and per-ring log
+    /// occupancy. The watermarks are sampled independently (racily) — use
+    /// after [`DudeTm::quiesce`] for exact values, or live to observe lag.
+    pub fn stats_snapshot(&self) -> PipelineSnapshot {
+        PipelineSnapshot {
+            counters: self.shared.stats.snapshot(),
+            committed: self.engine.clock_now(),
+            durable: self.durable_id(),
+            reproduced: self.reproduced_id(),
+            ring_used_words: self.shared.rings.iter().map(|r| r.used_words()).collect(),
+        }
+    }
+
     /// Shadow paging statistics.
     pub fn shadow_stats(&self) -> crate::shadow::ShadowStats {
         self.shadow.stats()
@@ -483,17 +512,21 @@ impl<'d, E: TmEngine> DtmThread<'d, E> {
         let heap_bytes = self.dude.shared.config.heap_bytes;
         let view = self.dude.shadow.view();
         let mut slot: Option<T> = None;
-        let outcome = self.engine_thread.run_txn(&view, &mut self.hooks, &mut |acc| {
-            let mut tx = DtmTx {
-                inner: acc,
-                heap_bytes,
-            };
-            slot = Some(body(&mut tx)?);
-            Ok(())
-        });
+        let outcome = self
+            .engine_thread
+            .run_txn(&view, &mut self.hooks, &mut |acc| {
+                let mut tx = DtmTx {
+                    inner: acc,
+                    heap_bytes,
+                };
+                slot = Some(body(&mut tx)?);
+                Ok(())
+            });
         match outcome {
             TxnOutcome::Committed { info, .. } => TxnOutcome::Committed {
-                value: slot.take().expect("committed body must have produced a value"),
+                value: slot
+                    .take()
+                    .expect("committed body must have produced a value"),
                 info,
             },
             TxnOutcome::Aborted => TxnOutcome::Aborted,

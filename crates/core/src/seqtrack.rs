@@ -60,7 +60,10 @@ impl SequenceTracker {
         let mut wm = self.watermark.load(Ordering::Acquire);
         assert!(id > wm, "id {id} marked twice (watermark {wm})");
         pending.push(std::cmp::Reverse(id));
-        while pending.peek().is_some_and(|&std::cmp::Reverse(next)| next == wm + 1) {
+        while pending
+            .peek()
+            .is_some_and(|&std::cmp::Reverse(next)| next == wm + 1)
+        {
             pending.pop();
             wm += 1;
         }

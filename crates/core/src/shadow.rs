@@ -141,7 +141,9 @@ impl ShadowMem {
             for &(addr, _) in writes {
                 let page = addr / PAGE_BYTES;
                 if page != last_page {
-                    p.pages[page as usize].touching.fetch_max(tid, Ordering::Release);
+                    p.pages[page as usize]
+                        .touching
+                        .fetch_max(tid, Ordering::Release);
                     last_page = page;
                 }
             }
@@ -215,7 +217,9 @@ impl PagedShadow {
             nvm,
             heap_region,
             reproduced,
-            frames: (0..frames * PAGE_WORDS).map(|_| AtomicU64::new(0)).collect(),
+            frames: (0..frames * PAGE_WORDS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             pages: (0..n_pages)
                 .map(|_| PageEntry {
                     frame: AtomicU32::new(NO_FRAME),
@@ -267,7 +271,9 @@ impl PagedShadow {
     }
 
     fn unpin(&self, page: u32) {
-        self.pages[page as usize].refcount.fetch_sub(1, Ordering::AcqRel);
+        self.pages[page as usize]
+            .refcount
+            .fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Finds a free frame, evicting an unpinned resident page if needed.
@@ -365,9 +371,9 @@ impl PagedView<'_> {
                 // mapping actually changes.
                 PagingMode::Hardware => frame,
                 // Software: walk the shared page table every access.
-                PagingMode::Software => {
-                    self.shadow.pages[page as usize].frame.load(Ordering::Acquire)
-                }
+                PagingMode::Software => self.shadow.pages[page as usize]
+                    .frame
+                    .load(Ordering::Acquire),
             };
         }
         // First touch (hardware: a TLB miss): pin and possibly fault the
@@ -401,7 +407,9 @@ impl WordMemory for ShadowView<'_> {
             ShadowView::Identity(mem) => mem.store(addr, val),
             ShadowView::Paged(v) => {
                 let frame = v.frame_of(addr);
-                v.shadow.frame_word(frame, addr).store(val, Ordering::Relaxed);
+                v.shadow
+                    .frame_word(frame, addr)
+                    .store(val, Ordering::Relaxed);
             }
         }
     }
@@ -517,7 +525,7 @@ mod tests {
         let v1 = shadow.view();
         v1.store(0, 10); // pin page 0
         v1.store(PAGE_BYTES, 20); // pin page 1: both frames used
-        // While v1 lives, its dirty (un-reproduced) data must stay.
+                                  // While v1 lives, its dirty (un-reproduced) data must stay.
         assert_eq!(v1.load(0), 10);
         assert_eq!(v1.load(PAGE_BYTES), 20);
         drop(v1);

@@ -1,4 +1,4 @@
-//! Pipeline statistics.
+//! Pipeline statistics and the pipeline-lag observability surface.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -103,6 +103,67 @@ impl PipelineStatsSnapshot {
     }
 }
 
+/// Point-in-time view of the whole decoupled pipeline: the cumulative
+/// per-stage counters plus the three watermarks that define stage lag and
+/// the occupancy of each persistent log ring.
+///
+/// The watermarks order as `reproduced <= durable <= committed`; the gaps
+/// between them are how far Persist and Reproduce trail Perform (§3.2's
+/// asynchrony made observable). Obtain via
+/// [`DudeTm::stats_snapshot`](crate::DudeTm::stats_snapshot).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PipelineSnapshot {
+    /// Cumulative per-stage counters.
+    pub counters: PipelineStatsSnapshot,
+    /// Highest transaction ID the TM commit clock has handed out — the
+    /// Perform stage's frontier.
+    pub committed: u64,
+    /// The durable watermark: every TID at or below it is persistent.
+    pub durable: u64,
+    /// The reproduced watermark: every TID at or below it is applied to
+    /// the persistent heap image.
+    pub reproduced: u64,
+    /// Occupied words in each per-thread persistent log ring — the log
+    /// space Reproduce has not yet recycled.
+    pub ring_used_words: Vec<u64>,
+}
+
+impl PipelineSnapshot {
+    /// Transactions committed but not yet durable (Perform → Persist lag).
+    pub fn persist_lag(&self) -> u64 {
+        self.committed.saturating_sub(self.durable)
+    }
+
+    /// Transactions durable but not yet reproduced (Persist → Reproduce
+    /// lag); bounded log space forces this to stay finite.
+    pub fn reproduce_lag(&self) -> u64 {
+        self.durable.saturating_sub(self.reproduced)
+    }
+
+    /// Total occupied words across all log rings.
+    pub fn ring_words_total(&self) -> u64 {
+        self.ring_used_words.iter().sum()
+    }
+
+    /// One-line human-readable summary (bench-report friendly).
+    pub fn summary(&self) -> String {
+        format!(
+            "committed={} durable={} (lag {}) reproduced={} (lag {}) \
+             ring-words={} commits={} aborts={} replayed={} checkpoints={}",
+            self.committed,
+            self.durable,
+            self.persist_lag(),
+            self.reproduced,
+            self.reproduce_lag(),
+            self.ring_words_total(),
+            self.counters.commits,
+            self.counters.abort_markers,
+            self.counters.txns_reproduced,
+            self.counters.checkpoints,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +191,37 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.commits, 5);
         assert_eq!(snap.txns_reproduced, 3);
+    }
+
+    #[test]
+    fn pipeline_snapshot_lag_math() {
+        let snap = PipelineSnapshot {
+            committed: 100,
+            durable: 90,
+            reproduced: 70,
+            ring_used_words: vec![12, 0, 8],
+            ..Default::default()
+        };
+        assert_eq!(snap.persist_lag(), 10);
+        assert_eq!(snap.reproduce_lag(), 20);
+        assert_eq!(snap.ring_words_total(), 20);
+        let line = snap.summary();
+        assert!(line.contains("committed=100"), "{line}");
+        assert!(line.contains("(lag 10)"), "{line}");
+        assert!(line.contains("ring-words=20"), "{line}");
+    }
+
+    #[test]
+    fn pipeline_snapshot_lag_saturates() {
+        // Watermarks are sampled racily; a momentarily inverted pair must
+        // not wrap around.
+        let snap = PipelineSnapshot {
+            committed: 5,
+            durable: 7,
+            reproduced: 9,
+            ..Default::default()
+        };
+        assert_eq!(snap.persist_lag(), 0);
+        assert_eq!(snap.reproduce_lag(), 0);
     }
 }

@@ -33,7 +33,8 @@ fn committed_transactions_reach_nvm() {
     {
         let mut t = dude.register_thread();
         for i in 0..100u64 {
-            t.run(&mut |tx| tx.write_word(slot(i), i * 10)).expect_committed();
+            t.run(&mut |tx| tx.write_word(slot(i), i * 10))
+                .expect_committed();
         }
     }
     dude.quiesce();
@@ -63,7 +64,8 @@ fn user_abort_leaves_no_trace() {
     let heap = dude.heap_region();
     {
         let mut t = dude.register_thread();
-        t.run(&mut |tx| tx.write_word(slot(0), 1)).expect_committed();
+        t.run(&mut |tx| tx.write_word(slot(0), 1))
+            .expect_committed();
         let out = t.run(&mut |tx| {
             tx.write_word(slot(0), 99)?;
             Err::<(), _>(TxAbort::User)
@@ -198,7 +200,8 @@ fn recovered_runtime_continues_transaction_ids() {
         let dude = DudeTm::create_stm(Arc::clone(&nvm), config);
         let mut t = dude.register_thread();
         for i in 0..10u64 {
-            t.run(&mut |tx| tx.write_word(slot(i), 1)).expect_committed();
+            t.run(&mut |tx| tx.write_word(slot(i), 1))
+                .expect_committed();
         }
         drop(t);
         dude.quiesce();
@@ -242,7 +245,8 @@ fn sync_mode_survives_immediate_crash() {
     {
         let dude = DudeTm::create_stm(Arc::clone(&nvm), config);
         let mut t = dude.register_thread();
-        t.run(&mut |tx| tx.write_word(slot(7), 77)).expect_committed();
+        t.run(&mut |tx| tx.write_word(slot(7), 77))
+            .expect_committed();
         drop(t);
         nvm.crash();
         std::mem::forget(dude);
@@ -261,7 +265,8 @@ fn unbounded_mode_works() {
     {
         let mut t = dude.register_thread();
         for i in 0..500u64 {
-            t.run(&mut |tx| tx.write_word(slot(i % 64), i)).expect_committed();
+            t.run(&mut |tx| tx.write_word(slot(i % 64), i))
+                .expect_committed();
         }
     }
     dude.quiesce();
@@ -279,7 +284,8 @@ fn grouped_persist_combines_and_reproduces_correctly() {
         // 100 transactions all hammering the same 4 slots: combination
         // should crush the entry count.
         for i in 0..100u64 {
-            t.run(&mut |tx| tx.write_word(slot(i % 4), i)).expect_committed();
+            t.run(&mut |tx| tx.write_word(slot(i % 4), i))
+                .expect_committed();
         }
     }
     dude.quiesce();
@@ -334,7 +340,8 @@ fn paged_shadow_end_to_end() {
             // Write one word on each of 64 pages: forces heavy swapping.
             for page in 0..64u64 {
                 let addr = PAddr::new(page * dudetm::PAGE_BYTES);
-                t.run(&mut |tx| tx.write_word(addr, page + 1)).expect_committed();
+                t.run(&mut |tx| tx.write_word(addr, page + 1))
+                    .expect_committed();
             }
             // Read them all back (re-faults evicted pages; values must come
             // back via NVM after reproduction).
@@ -423,6 +430,37 @@ fn multi_thread_multi_persist_pipeline() {
     dude.quiesce();
     assert_eq!(dude.pipeline_stats().txns_reproduced, 1000);
     assert_eq!(dude.durable_id(), 1000);
+}
+
+#[test]
+fn stats_snapshot_watermarks_and_occupancy() {
+    let nvm = test_nvm(8 << 20);
+    let dude = DudeTm::create_stm(Arc::clone(&nvm), small_config());
+    {
+        let mut t = dude.register_thread();
+        for i in 0..100u64 {
+            t.run(&mut |tx| tx.write_word(slot(i % 16), i))
+                .expect_committed();
+        }
+    }
+    dude.quiesce();
+    let snap = dude.stats_snapshot();
+    // After quiesce the three watermarks coincide at the last commit.
+    assert_eq!(snap.committed, 100);
+    assert_eq!(snap.durable, 100);
+    assert_eq!(snap.reproduced, 100);
+    assert_eq!(snap.persist_lag(), 0);
+    assert_eq!(snap.reproduce_lag(), 0);
+    // Stage counters ride along in the same snapshot.
+    assert_eq!(snap.counters.commits, 100);
+    assert_eq!(snap.counters.txns_reproduced, 100);
+    // One occupancy gauge per log ring; everything reproduced under a
+    // small checkpoint cadence means at most the un-checkpointed tail
+    // remains, never more than the rings can hold.
+    assert_eq!(snap.ring_used_words.len(), small_config().max_threads);
+    assert!(snap.ring_words_total() <= small_config().plog_bytes_per_thread / 8 * 4);
+    let line = snap.summary();
+    assert!(line.contains("committed=100"), "{line}");
 }
 
 #[test]

@@ -1,0 +1,149 @@
+//! Regression tests for `recover_device` edge cases: per-transaction
+//! discard accounting, group records straddling the checkpoint, ambiguous
+//! logs, and the post-recovery log wipe.
+//!
+//! The tests format a device through the runtime, then craft log records
+//! directly in the persistent log regions (using the public serializers)
+//! to reach on-medium states a live pipeline produces only under crash
+//! timing.
+
+use std::sync::Arc;
+
+use dude_nvm::{Nvm, NvmConfig};
+use dude_txapi::{PAddr, TxnSystem, TxnThread};
+use dudetm::{log, recover_device, scan_region, DudeTm, DudeTmConfig, NvmLayout};
+
+/// Byte offset of the reproduced-ID checkpoint inside the metadata region
+/// (on-NVM format v1: word 2).
+const META_REPRODUCED_OFF: u64 = 2 * 8;
+
+fn test_nvm() -> Arc<Nvm> {
+    Arc::new(Nvm::new(NvmConfig::for_testing(1 << 16)))
+}
+
+fn tiny_config() -> DudeTmConfig {
+    DudeTmConfig {
+        plog_bytes_per_thread: 4096,
+        max_threads: 2,
+        ..DudeTmConfig::small(4096)
+    }
+}
+
+/// Formats the device (clean shutdown, checkpoint 0) and returns its layout.
+fn formatted(nvm: &Arc<Nvm>, config: DudeTmConfig) -> NvmLayout {
+    drop(DudeTm::create_stm(Arc::clone(nvm), config));
+    let (layout, report) = recover_device(nvm, &config).expect("clean device recovers");
+    assert_eq!(report.replayed, 0);
+    layout
+}
+
+/// Persists a serialized record at the start of log region `ring`.
+fn plant_record(nvm: &Nvm, layout: &NvmLayout, ring: usize, words: &[u64]) {
+    let off = layout.plogs[ring].start();
+    nvm.write_words(off, words);
+    nvm.persist(off, words.len() as u64 * 8);
+}
+
+#[test]
+fn discarded_counts_transactions_not_records() {
+    let nvm = test_nvm();
+    let config = tiny_config();
+    let layout = formatted(&nvm, config);
+    let mut buf = Vec::new();
+    // Tid 1 is intact; tid 2 never became durable; the group 3..=5 sits
+    // beyond the gap and must be discarded — as THREE transactions.
+    log::serialize_commit(1, &[(0, 11)], &mut buf);
+    plant_record(&nvm, &layout, 0, &buf);
+    log::serialize_group(3, 5, &[(8, 33)], false, &mut buf);
+    plant_record(&nvm, &layout, 1, &buf);
+
+    let (_, report) = recover_device(&nvm, &config).expect("recover");
+    assert_eq!(report.replayed, 1);
+    assert_eq!(report.last_tid, 1);
+    assert_eq!(report.discarded, 3, "a discarded group is 3 transactions");
+    assert_eq!(nvm.read_word(layout.heap.start()), 11);
+    assert_eq!(
+        nvm.read_word(layout.heap.start() + 8),
+        0,
+        "discarded write applied"
+    );
+}
+
+#[test]
+fn group_straddling_checkpoint_replays_idempotently() {
+    let nvm = test_nvm();
+    let config = tiny_config();
+    let layout = formatted(&nvm, config);
+    // A group covering tids 1..=4 is durable, the heap reflects replay up
+    // to tid 2, and the durable checkpoint reads 2 — the record straddles
+    // it (1 <= 2 < 4). Its combined writes carry final values for the
+    // whole group, so recovery must replay it in full, not drop it.
+    let mut buf = Vec::new();
+    log::serialize_group(1, 4, &[(0, 44), (8, 40)], false, &mut buf);
+    plant_record(&nvm, &layout, 0, &buf);
+    nvm.write_word(layout.heap.start(), 22); // partial state as of tid 2
+    nvm.persist(layout.heap.start(), 8);
+    nvm.write_word(layout.meta.start() + META_REPRODUCED_OFF, 2);
+    nvm.persist(layout.meta.start() + META_REPRODUCED_OFF, 8);
+
+    let (_, report) = recover_device(&nvm, &config).expect("recover");
+    assert_eq!(report.checkpoint, 2);
+    assert_eq!(report.last_tid, 4);
+    assert_eq!(report.replayed, 2, "only tids 3..=4 are new");
+    assert_eq!(report.discarded, 0);
+    assert_eq!(nvm.read_word(layout.heap.start()), 44);
+    assert_eq!(nvm.read_word(layout.heap.start() + 8), 40);
+}
+
+#[test]
+#[should_panic(expected = "ambiguous log")]
+fn two_straddling_records_are_rejected() {
+    let nvm = test_nvm();
+    let config = tiny_config();
+    let layout = formatted(&nvm, config);
+    // Both records straddle checkpoint 2 and disagree about history; no
+    // winner can be picked safely.
+    let mut buf = Vec::new();
+    log::serialize_group(1, 4, &[(0, 1)], false, &mut buf);
+    plant_record(&nvm, &layout, 0, &buf);
+    log::serialize_group(2, 5, &[(0, 2)], false, &mut buf);
+    plant_record(&nvm, &layout, 1, &buf);
+    nvm.write_word(layout.meta.start() + META_REPRODUCED_OFF, 2);
+    nvm.persist(layout.meta.start() + META_REPRODUCED_OFF, 8);
+    let _ = recover_device(&nvm, &config);
+}
+
+#[test]
+fn recovery_wipes_stale_log_records() {
+    let nvm = test_nvm();
+    let config = tiny_config();
+    {
+        let dude = DudeTm::create_stm(Arc::clone(&nvm), config);
+        let mut t = dude.register_thread();
+        for i in 0..20u64 {
+            let out = t.run(&mut |tx| tx.write_word(PAddr::from_word_index(i % 8), i));
+            let tid = out.info().unwrap().tid.unwrap();
+            t.wait_durable(tid);
+        }
+        drop(t);
+        nvm.crash();
+        std::mem::forget(dude);
+    }
+    let (layout, first) = recover_device(&nvm, &config).expect("first recovery");
+    assert_eq!(first.last_tid, 20);
+    // The wipe leaves no scannable record behind: a transaction ID re-used
+    // by the restarted runtime can never alias a stale record in a later
+    // crash.
+    for &region in &layout.plogs {
+        assert!(
+            scan_region(&nvm, region).is_empty(),
+            "stale records survived recovery"
+        );
+    }
+    // The wipe is durable: crash again immediately and recover.
+    nvm.crash();
+    let (_, second) = recover_device(&nvm, &config).expect("second recovery");
+    assert_eq!(second.checkpoint, first.last_tid);
+    assert_eq!(second.replayed, 0);
+    assert_eq!(second.discarded, 0);
+}

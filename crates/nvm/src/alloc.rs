@@ -297,7 +297,12 @@ impl PAllocator {
         let mut cursor = 0u64;
         for (&addr, &bytes) in &inner.live {
             let off = self.log.start() + cursor;
-            let rec = [OP_ALLOC, addr, bytes / 8, checksum(OP_ALLOC, addr, bytes / 8)];
+            let rec = [
+                OP_ALLOC,
+                addr,
+                bytes / 8,
+                checksum(OP_ALLOC, addr, bytes / 8),
+            ];
             self.nvm.write_words(off, &rec);
             cursor += RECORD_BYTES;
         }
@@ -358,7 +363,10 @@ mod tests {
     fn invalid_free_rejected() {
         let (nvm, heap, log) = setup(1 << 16);
         let a = PAllocator::new(nvm, heap, log);
-        assert_eq!(a.free(PAddr::new(heap.start())), Err(AllocError::InvalidFree));
+        assert_eq!(
+            a.free(PAddr::new(heap.start())),
+            Err(AllocError::InvalidFree)
+        );
         let x = a.alloc(2).unwrap();
         assert_eq!(a.free(x.add(8)), Err(AllocError::InvalidFree));
     }

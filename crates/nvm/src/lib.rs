@@ -41,10 +41,12 @@ mod stats;
 mod timing;
 
 pub use alloc::{AllocError, PAllocator, RecoveredHeap};
-pub use device::{Nvm, NvmConfig, WearSummary};
+pub use device::{
+    CrashEventKind, CrashPlan, Nvm, NvmConfig, PersistenceEvents, StageFilter, WearSummary,
+};
 pub use region::Region;
 pub use stats::{NvmStats, StatsSnapshot};
-pub use timing::{set_background_stage, TimingConfig, TimingModel};
+pub use timing::{is_background_stage, set_background_stage, TimingConfig, TimingModel};
 
 /// Bytes per emulated cache line (flush granularity).
 pub const CACHE_LINE: u64 = 64;

@@ -94,6 +94,13 @@ pub fn set_background_stage(background: bool) {
     BACKGROUND_STAGE.with(|b| b.set(background));
 }
 
+/// Whether the calling thread is currently marked as a background stage
+/// (see [`set_background_stage`]). Used by the device's crash-plan event
+/// accounting to attribute persistence events to pipeline stages.
+pub fn is_background_stage() -> bool {
+    BACKGROUND_STAGE.with(|b| b.get())
+}
+
 /// Runtime delay injector for persist barriers.
 ///
 /// Also accumulates the total modeled delay so experiments can report how

@@ -48,7 +48,10 @@ impl VecMemory {
     ///
     /// Panics if `bytes` is not a positive multiple of 8.
     pub fn new(bytes: u64) -> Self {
-        assert!(bytes > 0 && bytes.is_multiple_of(8), "size must be a multiple of 8");
+        assert!(
+            bytes > 0 && bytes.is_multiple_of(8),
+            "size must be a multiple of 8"
+        );
         VecMemory {
             words: (0..bytes / 8).map(|_| AtomicU64::new(0)).collect(),
         }

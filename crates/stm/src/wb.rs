@@ -111,7 +111,10 @@ impl<'t, M: WordMemory + ?Sized, H: TxHooks> WriteBackTx<'t, M, H> {
                 self.extend()?;
                 continue;
             }
-            self.read_set.push(ReadEntry { stripe, version: ver });
+            self.read_set.push(ReadEntry {
+                stripe,
+                version: ver,
+            });
             return Ok(val);
         }
     }
@@ -236,7 +239,6 @@ impl<'t, M: WordMemory + ?Sized, H: TxHooks> WriteBackTx<'t, M, H> {
     pub(crate) fn take_wasted(&mut self) -> Option<TxId> {
         self.wasted.take()
     }
-
 }
 
 #[cfg(test)]

@@ -105,7 +105,10 @@ impl<'t, M: WordMemory + ?Sized, H: TxHooks> StmTx<'t, M, H> {
                 self.extend()?;
                 continue;
             }
-            self.read_set.push(ReadEntry { stripe, version: ver });
+            self.read_set.push(ReadEntry {
+                stripe,
+                version: ver,
+            });
             return Ok(val);
         }
     }
@@ -169,7 +172,10 @@ impl<'t, M: WordMemory + ?Sized, H: TxHooks> StmTx<'t, M, H> {
     /// we locked it.
     fn validate(&self) -> TxResult<()> {
         for e in &self.read_set {
-            let w = self.locks.word(e.stripe).load(std::sync::atomic::Ordering::Acquire);
+            let w = self
+                .locks
+                .word(e.stripe)
+                .load(std::sync::atomic::Ordering::Acquire);
             let current = if is_locked(w) {
                 if owner_of(w) != self.owner {
                     return Err(TxAbort::Conflict);
@@ -232,8 +238,6 @@ impl<'t, M: WordMemory + ?Sized, H: TxHooks> StmTx<'t, M, H> {
     pub(crate) fn take_wasted(&mut self) -> Option<TxId> {
         self.wasted.take()
     }
-
-
 }
 
 #[cfg(test)]
@@ -291,7 +295,10 @@ mod tests {
         tx.rollback();
         assert_eq!(f.mem.load(0), 10);
         // Stripe is unlocked again at its old version.
-        let w = f.locks.word(f.locks.stripe_of(0)).load(std::sync::atomic::Ordering::Relaxed);
+        let w = f
+            .locks
+            .word(f.locks.stripe_of(0))
+            .load(std::sync::atomic::Ordering::Relaxed);
         assert!(!is_locked(w));
     }
 

@@ -321,7 +321,10 @@ mod tests {
         tx.write_word(base, u64::MAX).unwrap();
         tx.write_bytes(base, &[0xAA, 0xBB]).unwrap();
         let w = tx.read_word(base).unwrap();
-        assert_eq!(w.to_le_bytes(), [0xAA, 0xBB, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF]);
+        assert_eq!(
+            w.to_le_bytes(),
+            [0xAA, 0xBB, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF]
+        );
     }
 
     #[test]

@@ -50,13 +50,7 @@ impl Bank {
     ///
     /// [`TxAbort::User`] if the source balance is insufficient; TM
     /// conflicts propagate.
-    pub fn transfer(
-        &self,
-        tx: &mut dyn Txn,
-        src: u64,
-        dst: u64,
-        amount: u64,
-    ) -> TxResult<()> {
+    pub fn transfer(&self, tx: &mut dyn Txn, src: u64, dst: u64, amount: u64) -> TxResult<()> {
         tx.declare_write(self.addr(src), 1)?;
         tx.declare_write(self.addr(dst), 1)?;
         let s = tx.read_word(self.addr(src))?;

@@ -306,7 +306,10 @@ mod parking_lot_free {
 
     impl Collector {
         pub fn add(&self, mut samples: Vec<u64>) {
-            self.inner.lock().expect("collector poisoned").append(&mut samples);
+            self.inner
+                .lock()
+                .expect("collector poisoned")
+                .append(&mut samples);
         }
 
         pub fn into_vec(self) -> Vec<u64> {

@@ -313,10 +313,7 @@ mod tests {
                 }
                 _ => {
                     let val = x % 1000;
-                    assert_eq!(
-                        t.insert(&mut tx, key, val).unwrap(),
-                        model.insert(key, val)
-                    );
+                    assert_eq!(t.insert(&mut tx, key, val).unwrap(), model.insert(key, val));
                 }
             }
         }

@@ -147,10 +147,7 @@ mod tests {
         // Rank 0 dominates; top-10 takes a large share.
         assert!(counts[0] > counts[500] * 20);
         let top10: u64 = counts[..10].iter().sum();
-        assert!(
-            top10 > 30_000,
-            "zipf(0.99) top-10 share too small: {top10}"
-        );
+        assert!(top10 > 30_000, "zipf(0.99) top-10 share too small: {top10}");
     }
 
     #[test]

@@ -227,7 +227,8 @@ impl<K: KvIndex> Tpcc<K> {
         tx.write_word(order.add_words(1), lines.len() as u64)?;
         tx.write_word(order.add_words(2), o_id)?;
         tx.write_word(order.add_words(3), d)?;
-        self.kv.insert(tx, Self::key_order(d, o_id), order.offset())?;
+        self.kv
+            .insert(tx, Self::key_order(d, o_id), order.offset())?;
         self.kv.insert(tx, Self::key_new_order(d, o_id), 1)?;
         // Order lines with stock updates.
         let mut total = 0u64;
@@ -421,9 +422,7 @@ mod tests {
         );
         let mut tx = MapTxn::default();
         load(&tpcc, &mut tx);
-        let total = tpcc
-            .new_order(&mut tx, 1, 3, &[(5, 2), (9, 1)])
-            .unwrap();
+        let total = tpcc.new_order(&mut tx, 1, 3, &[(5, 2), (9, 1)]).unwrap();
         assert!(total > 0);
         // Order 1 in district 1 belongs to customer 3.
         assert_eq!(tpcc.order_customer(&mut tx, 1, 1).unwrap(), Some(3));
@@ -466,10 +465,7 @@ mod tests {
             tpcc.op(&mut tx, &mut rng, 0).unwrap();
         }
         // 50 orders allocated.
-        assert_eq!(
-            tx.read_word(tpcc.order_bump).unwrap(),
-            50 * ORDER_WORDS
-        );
+        assert_eq!(tx.read_word(tpcc.order_bump).unwrap(), 50 * ORDER_WORDS);
     }
 
     #[test]
@@ -548,7 +544,9 @@ mod tests {
         // Creating at base 0 with that many words stays within bounds: the
         // last arena word is addressable.
         let tpcc = Tpcc::new(BTreeKv::new(PAddr::new(1 << 20), 16), PAddr::new(0), p, "x");
-        let last = tpcc.ol_arena.add_words(p.max_orders * 15 * ORDER_LINE_WORDS - 1);
+        let last = tpcc
+            .ol_arena
+            .add_words(p.max_orders * 15 * ORDER_LINE_WORDS - 1);
         assert!(last.word_index() < need);
     }
 }

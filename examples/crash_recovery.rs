@@ -65,12 +65,7 @@ fn main() {
     let mut recovered = 0;
     for &i in &acknowledged {
         let (a, b) = thread
-            .run(&mut |tx| {
-                Ok((
-                    tx.read_word(slot(2 * i))?,
-                    tx.read_word(slot(2 * i + 1))?,
-                ))
-            })
+            .run(&mut |tx| Ok((tx.read_word(slot(2 * i))?, tx.read_word(slot(2 * i + 1))?)))
             .expect_committed();
         assert_eq!(a, i + 1, "acknowledged record {i} lost");
         assert_eq!(b, (i + 1) * 1000, "record {i} torn");
@@ -81,12 +76,7 @@ fn main() {
     let mut unacked_survived = 0;
     for i in (1..200u64).step_by(2) {
         let (a, b) = thread
-            .run(&mut |tx| {
-                Ok((
-                    tx.read_word(slot(2 * i))?,
-                    tx.read_word(slot(2 * i + 1))?,
-                ))
-            })
+            .run(&mut |tx| Ok((tx.read_word(slot(2 * i))?, tx.read_word(slot(2 * i + 1))?)))
             .expect_committed();
         assert!(
             (a == 0 && b == 0) || (a == i + 1 && b == (i + 1) * 1000),

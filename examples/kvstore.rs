@@ -51,7 +51,10 @@ fn main() {
 
     println!(
         "\n{}: {} committed, {:.0} TPS, {:.3} retries/txn",
-        stats.workload, stats.committed, stats.throughput, stats.retry_rate()
+        stats.workload,
+        stats.committed,
+        stats.throughput,
+        stats.retry_rate()
     );
     let p = dude.pipeline_stats();
     println!(

@@ -80,7 +80,10 @@ fn main() {
             Ok(sum)
         })
         .expect_committed();
-    println!("total balance in shadow memory: {total} (expected {})", ACCOUNTS * INITIAL);
+    println!(
+        "total balance in shadow memory: {total} (expected {})",
+        ACCOUNTS * INITIAL
+    );
     drop(thread);
 
     // Let Reproduce catch up, then verify the persistent image directly.

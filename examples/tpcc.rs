@@ -44,7 +44,11 @@ fn measure<S: TxnSystem>(sys: &S) -> RunStats {
     eprintln!("[{}] loading...", sys.name());
     let t0 = std::time::Instant::now();
     load_workload(sys, &w);
-    eprintln!("[{}] loaded in {:.1?}, measuring...", sys.name(), t0.elapsed());
+    eprintln!(
+        "[{}] loaded in {:.1?}, measuring...",
+        sys.name(),
+        t0.elapsed()
+    );
     run_fixed_ops(
         sys,
         &w,
@@ -79,7 +83,11 @@ fn main() {
         let sys = DudeTm::create_stm(nvm(), config);
         let stats = measure(&sys);
         sys.quiesce();
-        eprintln!("[{}] done: {:.1} KTPS", TxnSystem::name(&sys), stats.throughput / 1e3);
+        eprintln!(
+            "[{}] done: {:.1} KTPS",
+            TxnSystem::name(&sys),
+            stats.throughput / 1e3
+        );
         rows.push((TxnSystem::name(&sys).to_string(), stats.throughput));
     }
     {

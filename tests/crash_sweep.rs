@@ -1,0 +1,348 @@
+//! Exhaustive deterministic crash-point sweep across the whole stack.
+//!
+//! `tests/crash_consistency.rs` samples crash points with wall-clock timing;
+//! this suite *enumerates* them. A counting pass runs a fixed bank workload
+//! once and reads the device's persistence-event tallies
+//! ([`Nvm::persistence_events`]); the sweep then re-runs the identical
+//! workload once per event index with a [`CrashPlan`] armed to simulate a
+//! power failure at exactly that flush, fence, or store — foreground and
+//! background stages, strict and torn-cache-line outcomes — recovers with
+//! [`recover_device`], and checks the same four invariants:
+//!
+//! 1. **Durability** — every transaction acknowledged durable before the
+//!    crash instant survives it.
+//! 2. **Atomicity** — recovered state never contains a torn transaction.
+//! 3. **Consistency** — the bank total is conserved after recovery.
+//! 4. **Prefix semantics** — the recovered state equals the replay of a
+//!    contiguous prefix of the committed transaction sequence.
+//!
+//! The workload runs on a single Perform thread, so the committed sequence
+//! (and therefore the expected state after every prefix) is identical in
+//! every run; only the crash point moves. Across the sweeps below, well over
+//! 200 distinct crash points are exercised (each test asserts its share).
+
+use std::sync::Arc;
+
+use dude_nvm::{CrashEventKind, CrashPlan, Nvm, NvmConfig, StageFilter};
+use dude_txapi::{PAddr, TxnSystem, TxnThread};
+use dudetm::{recover_device, DudeTm, DudeTmConfig, DurabilityMode};
+
+const ACCOUNTS: u64 = 16;
+const INITIAL: u64 = 100;
+const TRANSFERS: u64 = 50;
+const SEED: u64 = 0x5EED_CAFE;
+
+fn slot(i: u64) -> PAddr {
+    PAddr::from_word_index(8 + i)
+}
+
+fn config(mode: DurabilityMode) -> DudeTmConfig {
+    DudeTmConfig {
+        max_threads: 2,
+        plog_bytes_per_thread: 1 << 16,
+        checkpoint_every: 8,
+        ..DudeTmConfig::small(1 << 16)
+    }
+    .with_durability(mode)
+}
+
+fn fresh_nvm() -> Arc<Nvm> {
+    Arc::new(Nvm::new(NvmConfig::for_testing(1 << 18)))
+}
+
+/// Advances the LCG until it yields a transfer between distinct accounts.
+fn next_pair(mut x: u64) -> (u64, u64, u64) {
+    loop {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let a = (x >> 33) % ACCOUNTS;
+        let b = (x >> 13) % ACCOUNTS;
+        if a != b {
+            return (a, b, x);
+        }
+    }
+}
+
+/// Simulated balances after each transaction ID: `states[k]` is the heap
+/// content a correct recovery to `last_tid == k` must produce. Tid 0 is the
+/// unformatted heap, tid 1 the seed transaction, tids 2..=TRANSFERS+1 the
+/// transfers.
+fn expected_states() -> Vec<Vec<u64>> {
+    let mut states = vec![vec![0u64; ACCOUNTS as usize]];
+    let mut bal = vec![INITIAL; ACCOUNTS as usize];
+    states.push(bal.clone());
+    let mut x = SEED;
+    for _ in 0..TRANSFERS {
+        let (a, b, nx) = next_pair(x);
+        x = nx;
+        bal[a as usize] -= 1;
+        bal[b as usize] += 1;
+        states.push(bal.clone());
+    }
+    states
+}
+
+/// Runs the deterministic bank workload to clean shutdown. With a plan
+/// armed, the crash image freezes mid-run while the live threads keep going
+/// (the emulator never wedges the pipeline); acknowledgements recorded after
+/// the trip belong to the post-crash timeline and are excluded from the
+/// durability bar. Returns the highest transaction ID acknowledged durable
+/// strictly before the crash instant.
+fn run_bank(nvm: &Arc<Nvm>, cfg: DudeTmConfig, plan: Option<CrashPlan>) -> u64 {
+    let dude = DudeTm::create_stm(Arc::clone(nvm), cfg);
+    match plan {
+        Some(p) => nvm.arm_crash_plan(p),
+        // Counting pass: exclude formatting, like the armed runs do.
+        None => nvm.reset_persistence_events(),
+    }
+    let mut acked = 0u64;
+    {
+        let mut t = dude.register_thread();
+        t.run(&mut |tx| {
+            for i in 0..ACCOUNTS {
+                tx.write_word(slot(i), INITIAL)?;
+            }
+            Ok(())
+        })
+        .expect_committed();
+        let mut x = SEED;
+        for op in 0..TRANSFERS {
+            let (a, b, nx) = next_pair(x);
+            x = nx;
+            let out = t.run(&mut |tx| {
+                let va = tx.read_word(slot(a))?;
+                tx.write_word(slot(a), va - 1)?;
+                let vb = tx.read_word(slot(b))?;
+                tx.write_word(slot(b), vb + 1)
+            });
+            let tid = out
+                .info()
+                .expect("single-threaded transfer commits")
+                .tid
+                .unwrap();
+            if op % 10 == 9 {
+                t.wait_durable(tid);
+                // `wait_durable` returned before the trip was observed, so
+                // the covering fence completed before the crash instant.
+                if !nvm.crash_plan_tripped() {
+                    acked = acked.max(tid);
+                }
+            }
+        }
+    }
+    drop(dude);
+    acked
+}
+
+/// Recovers the device and checks the four invariants against the
+/// simulated prefix states.
+fn check_recovery(
+    nvm: &Arc<Nvm>,
+    cfg: &DudeTmConfig,
+    acked: u64,
+    states: &[Vec<u64>],
+    label: &str,
+) {
+    let (layout, report) = recover_device(nvm, cfg).expect("recovery");
+    // 1. Durability: acknowledged transactions survive.
+    assert!(
+        report.last_tid >= acked,
+        "{label}: acknowledged tid {acked} lost (recovered to {})",
+        report.last_tid
+    );
+    let l = report.last_tid as usize;
+    assert!(
+        l < states.len(),
+        "{label}: recovered past the committed sequence ({l})"
+    );
+    let bal: Vec<u64> = (0..ACCOUNTS)
+        .map(|i| nvm.read_word(layout.heap.start() + slot(i).offset()))
+        .collect();
+    // 2 + 4. Atomicity and prefix semantics: the heap is *exactly* the
+    // replay of transactions 1..=last_tid — no torn transaction, nothing
+    // from beyond the prefix, nothing missing inside it.
+    assert_eq!(
+        bal, states[l],
+        "{label}: recovered state is not the replay of prefix 1..={l}"
+    );
+    // 3. Consistency: the application invariant holds.
+    if l >= 1 {
+        assert_eq!(
+            bal.iter().sum::<u64>(),
+            ACCOUNTS * INITIAL,
+            "{label}: money not conserved"
+        );
+    }
+}
+
+/// Counts this class's events in a crash-free run, then crashes at every
+/// `stride`-th index (stride chosen so at most ~`max_points` rounds run) and
+/// verifies recovery each time. Returns (rounds, rounds that tripped).
+fn sweep(
+    mode: DurabilityMode,
+    event: CrashEventKind,
+    stage: StageFilter,
+    torn: bool,
+    max_points: u64,
+) -> (u64, u64) {
+    let cfg = config(mode);
+    let states = expected_states();
+    let nvm = fresh_nvm();
+    run_bank(&nvm, cfg, None);
+    let events = nvm.persistence_events().count(event, stage);
+    assert!(events > 0, "workload emits no {event:?}/{stage:?} events");
+    let stride = (events / max_points).max(1);
+    let mut rounds = 0u64;
+    let mut tripped = 0u64;
+    // Sweep one stride past the count: background batching makes per-run
+    // event totals wobble, and an index beyond the run's actual count must
+    // degrade to a clean no-crash run, never an error.
+    let mut i = 1;
+    while i <= events + stride {
+        let mut plan = CrashPlan::at_nth(event, i).for_stage(stage);
+        if torn {
+            plan = plan.with_torn_line(SEED ^ i);
+        }
+        let nvm = fresh_nvm();
+        let acked = run_bank(&nvm, cfg, Some(plan));
+        if nvm.apply_planned_crash() {
+            tripped += 1;
+        }
+        let label = format!("{event:?}/{stage:?} torn={torn} crash point {i}");
+        check_recovery(&nvm, &cfg, acked, &states, &label);
+        rounds += 1;
+        i += stride;
+    }
+    (rounds, tripped)
+}
+
+const ASYNC: DurabilityMode = DurabilityMode::Async { buffer_txns: 64 };
+
+#[test]
+fn sweep_async_background_flushes() {
+    let (rounds, tripped) = sweep(
+        ASYNC,
+        CrashEventKind::Flush,
+        StageFilter::Background,
+        false,
+        120,
+    );
+    assert!(rounds >= 80, "only {rounds} background-flush crash points");
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_async_background_fences() {
+    let (rounds, tripped) = sweep(
+        ASYNC,
+        CrashEventKind::Fence,
+        StageFilter::Background,
+        false,
+        60,
+    );
+    assert!(rounds >= 5, "only {rounds} background-fence crash points");
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_async_background_writes() {
+    // Stores are the densest event class; stride-sample them.
+    let (rounds, tripped) = sweep(
+        ASYNC,
+        CrashEventKind::Write,
+        StageFilter::Background,
+        false,
+        40,
+    );
+    assert!(rounds >= 30, "only {rounds} background-write crash points");
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_async_torn_cacheline() {
+    let (rounds, tripped) = sweep(ASYNC, CrashEventKind::Flush, StageFilter::Any, true, 50);
+    assert!(rounds >= 40, "only {rounds} torn-line crash points");
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_sync_foreground_flushes() {
+    let (rounds, tripped) = sweep(
+        DurabilityMode::Sync,
+        CrashEventKind::Flush,
+        StageFilter::Foreground,
+        false,
+        60,
+    );
+    assert!(rounds >= 40, "only {rounds} foreground-flush crash points");
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_sync_foreground_fences_torn() {
+    let (rounds, tripped) = sweep(
+        DurabilityMode::Sync,
+        CrashEventKind::Fence,
+        StageFilter::Foreground,
+        true,
+        40,
+    );
+    assert!(
+        rounds >= 20,
+        "only {rounds} torn foreground-fence crash points"
+    );
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+/// A swept crash must leave a device the full runtime can restart from, not
+/// just one `recover_device` can read: recover with `DudeTm::recover_stm`,
+/// check the prefix invariant through the runtime's own heap view, and keep
+/// transacting.
+#[test]
+fn swept_crash_recovers_into_working_runtime() {
+    let cfg = config(ASYNC);
+    let states = expected_states();
+    let nvm = fresh_nvm();
+    run_bank(&nvm, cfg, None);
+    let fences = nvm
+        .persistence_events()
+        .count(CrashEventKind::Fence, StageFilter::Any);
+    let nvm = fresh_nvm();
+    let plan = CrashPlan::at_nth(CrashEventKind::Fence, (fences / 2).max(1));
+    let acked = run_bank(&nvm, cfg, Some(plan));
+    assert!(nvm.apply_planned_crash(), "mid-run fence plan must trip");
+
+    let (dude, report) = DudeTm::recover_stm(Arc::clone(&nvm), cfg).expect("recovery");
+    assert!(report.last_tid >= acked);
+    let l = report.last_tid as usize;
+    let heap = dude.heap_region();
+    let bal: Vec<u64> = (0..ACCOUNTS)
+        .map(|i| nvm.read_word(heap.start() + slot(i).offset()))
+        .collect();
+    assert_eq!(bal, states[l]);
+    // Prefix semantics also mean the restarted history continues the
+    // prefix: new IDs come strictly after the recovered one.
+    let mut t = dude.register_thread();
+    let out = t.run(&mut |tx| {
+        let v = tx.read_word(slot(0))?;
+        tx.write_word(slot(0), v + 1)
+    });
+    assert!(out.info().unwrap().tid.unwrap() > report.last_tid);
+}

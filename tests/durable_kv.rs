@@ -66,9 +66,7 @@ fn paged_shadow_recovers_from_nvm() {
         let mut t = dude.register_thread();
         let mut last = 0;
         for p in 0..pages {
-            let out = t.run(&mut |tx| {
-                tx.write_word(PAddr::new(p * dudetm::PAGE_BYTES), p + 1)
-            });
+            let out = t.run(&mut |tx| tx.write_word(PAddr::new(p * dudetm::PAGE_BYTES), p + 1));
             last = out.info().unwrap().tid.unwrap();
         }
         t.wait_durable(last);
@@ -99,7 +97,8 @@ fn sync_mode_kv_survives_without_acks() {
         let dude = DudeTm::create_stm(Arc::clone(&nvm), config);
         let mut t = dude.register_thread();
         for k in 0..100u64 {
-            t.run(&mut |tx| tree.insert(tx, k, k * k)).expect_committed();
+            t.run(&mut |tx| tree.insert(tx, k, k * k))
+                .expect_committed();
         }
         drop(t);
         nvm.crash();

@@ -26,7 +26,8 @@ fn btree_remove_and_range_through_dudetm() {
     let dude = DudeTm::create_stm(Arc::clone(&nvm), cfg());
     let mut t = dude.register_thread();
     for k in 0..200u64 {
-        t.run(&mut |tx| tree.insert(tx, k, k * 3)).expect_committed();
+        t.run(&mut |tx| tree.insert(tx, k, k * 3))
+            .expect_committed();
     }
     // Remove every third key, each removal one transaction.
     for k in (0..200u64).step_by(3) {
@@ -86,7 +87,8 @@ fn hash_remove_on_nvml_baseline() {
     let table = HashTable::new(PAddr::new(64), 1024);
     let mut t = sys.register_thread();
     for k in 0..100u64 {
-        t.run(&mut |tx| table.insert(tx, k, k + 1)).expect_committed();
+        t.run(&mut |tx| table.insert(tx, k, k + 1))
+            .expect_committed();
     }
     for k in (0..100u64).step_by(2) {
         let old = t.run(&mut |tx| table.remove(tx, k)).expect_committed();

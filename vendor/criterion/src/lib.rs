@@ -1,0 +1,197 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the subset used by the workspace's `cargo bench` suite:
+//! `Criterion::default()` with the `sample_size` / `measurement_time` /
+//! `warm_up_time` builders, `benchmark_group` → `bench_function` →
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!`
+//! macros. Reports mean wall-clock time per iteration; there is no
+//! statistical analysis, outlier detection or HTML report.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark-run configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up run time before sampling starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { criterion: self }
+    }
+}
+
+/// A named set of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times `f` and prints the mean per-iteration cost.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            deadline: Instant::now() + self.criterion.warm_up_time,
+        };
+        f(&mut b); // warm-up pass (measurements discarded)
+        let per_sample = self.criterion.measurement_time / self.criterion.sample_size as u32;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.criterion.sample_size {
+            b.iters = 0;
+            b.elapsed = Duration::ZERO;
+            b.deadline = Instant::now() + per_sample;
+            f(&mut b);
+            total += b.elapsed;
+            iters += b.iters;
+        }
+        let mean_ns = if iters == 0 {
+            0.0
+        } else {
+            total.as_nanos() as f64 / iters as f64
+        };
+        println!("  {id:40} {mean_ns:12.1} ns/iter ({iters} iters)");
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; re-runs the routine until the
+/// sample's time budget is spent.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    deadline: Instant,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= self.deadline {
+                return;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    criterion_group! {
+        name = demo;
+        config = Criterion::default()
+            .sample_size(1)
+            .measurement_time(Duration::from_millis(2))
+            .warm_up_time(Duration::from_millis(1));
+        targets = noop
+    }
+
+    fn noop(c: &mut Criterion) {
+        c.benchmark_group("noop")
+            .bench_function("nop", |b| b.iter(|| 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        demo();
+    }
+}
