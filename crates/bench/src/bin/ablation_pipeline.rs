@@ -7,7 +7,10 @@
 //! * **number of Persist threads** — the paper claims "typically one is
 //!   enough" (§3.3);
 //! * **Reproduce checkpoint cadence** — recycling frequency trades fences
-//!   against log-space pressure.
+//!   against log-space pressure;
+//! * **Reproduce shard workers** — drain throughput of the
+//!   conflict-sharded Reproduce stage on a write-heavy backlog, the knob
+//!   that lifts the pipeline's single-threaded drain ceiling.
 
 use dude_bench::report::fmt_tps;
 use dude_bench::{quick_flag, run_combo, BenchEnv, SystemKind, Table, WorkloadKind};
@@ -69,6 +72,7 @@ fn main() {
             persist_group: 1,
             compress_groups: false,
             checkpoint_every: 64,
+            reproduce_threads: 1,
             shadow: dudetm::ShadowConfig::Identity,
         };
         let sys = dudetm::DudeTm::create_stm(nvm, config);
@@ -121,6 +125,7 @@ fn main() {
             persist_group: 1,
             compress_groups: false,
             checkpoint_every: every,
+            reproduce_threads: 1,
             shadow: dudetm::ShadowConfig::Identity,
         };
         let sys = dudetm::DudeTm::create_stm(nvm, config);
@@ -138,6 +143,91 @@ fn main() {
         );
         sys.quiesce();
         table.push(vec![every.to_string(), fmt_tps(stats.throughput)]);
+    }
+    table.print();
+    table.save_csv("bench_results");
+
+    // 4. Reproduce shard workers: drain throughput of a write-heavy
+    // backlog. Perform runs ahead with an unbounded buffer while Reproduce
+    // lags (its scattered replay pays a full cache line per word, where
+    // Persist streams contiguous log bytes); the measurement clocks how
+    // fast each shard count drains the backlog left at the end of the
+    // commit burst. Shard workers wait out modeled NVM delays in parallel
+    // wall-clock windows, so the drain rate scales with N until the
+    // Persist stage becomes the ceiling.
+    let mut table = Table::new(
+        "Ablation — reproduce shard workers (write-heavy drain, DudeTM-Inf)",
+        &["reproduce threads", "drain throughput", "speedup"],
+    );
+    let ops: u64 = if quick { 1_500 } else { 6_000 };
+    let mut serial_rate = None;
+    for &rt in if quick {
+        &[1usize, 4][..]
+    } else {
+        &[1usize, 2, 4, 8][..]
+    } {
+        use dude_txapi::{PAddr, TxnSystem, TxnThread};
+        let env = base;
+        // Write-heavy: replay bandwidth, not barrier latency, must gate the
+        // drain — model a quarter of the paper's bandwidth so the backlog
+        // builds even in quick mode.
+        let timing = dude_nvm::TimingConfig {
+            bandwidth_bytes_per_sec: 256 << 20,
+            ..dude_nvm::TimingConfig::paper_default()
+        };
+        let nvm = std::sync::Arc::new(dude_nvm::Nvm::new(dude_nvm::NvmConfig::for_benchmark(
+            env.device_bytes(),
+            timing,
+        )));
+        let config = dudetm::DudeTmConfig {
+            heap_bytes: env.heap_bytes,
+            plog_bytes_per_thread: env.plog_bytes,
+            max_threads: env.threads + 4,
+            durability: dudetm::DurabilityMode::AsyncUnbounded,
+            persist_threads: 1,
+            persist_group: 1,
+            compress_groups: false,
+            checkpoint_every: 64,
+            reproduce_threads: rt,
+            shadow: dudetm::ShadowConfig::Identity,
+        };
+        let sys = dudetm::DudeTm::create_stm(nvm, config);
+        let lines = env.heap_bytes / 64;
+        {
+            let mut t = sys.register_thread();
+            let mut x = env.seed | 1;
+            for _ in 0..ops {
+                t.run(&mut |tx| {
+                    // 32 scattered words, one per cache line.
+                    for _ in 0..32 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let line = (x >> 17) % lines;
+                        tx.write_word(PAddr::from_word_index(line * 8), x)?;
+                    }
+                    Ok(())
+                });
+            }
+        }
+        let committed = sys.stats_snapshot().committed;
+        let backlog_from = sys.reproduced_id();
+        let start = std::time::Instant::now();
+        sys.quiesce();
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let drained = committed - backlog_from;
+        let rate = drained as f64 / secs;
+        let speedup = match serial_rate {
+            None => {
+                serial_rate = Some(rate);
+                "1.00x".to_string()
+            }
+            Some(base_rate) => format!("{:.2}x", rate / base_rate),
+        };
+        println!(
+            "  drain [{rt} reproduce threads]: backlog {drained} txns in {:.1} ms; {}",
+            secs * 1e3,
+            sys.stats_snapshot().summary()
+        );
+        table.push(vec![rt.to_string(), fmt_tps(rate), speedup]);
     }
     table.print();
     table.save_csv("bench_results");

@@ -58,6 +58,7 @@ fn main() {
             persist_group: group,
             compress_groups: group > 1,
             checkpoint_every: 64,
+            reproduce_threads: 1,
             shadow: dudetm::ShadowConfig::Identity,
         };
         let sys = DudeTm::create_stm(Arc::clone(&nvm), config);

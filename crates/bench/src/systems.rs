@@ -84,6 +84,7 @@ fn dude_config(env: &BenchEnv, durability: DurabilityMode) -> DudeTmConfig {
         persist_group: env.persist_group,
         compress_groups: env.compress,
         checkpoint_every: 64,
+        reproduce_threads: 1,
         shadow: env.shadow,
     }
 }

@@ -46,6 +46,12 @@ pub struct DudeTmConfig {
     /// Reproduce checkpoints (and recycles log space) every this many
     /// replayed transactions.
     pub checkpoint_every: u64,
+    /// Number of Reproduce shard workers. `1` keeps the serial replay
+    /// thread; `N > 1` partitions the heap address space into `N`
+    /// cache-line-granular shards replayed concurrently, with the
+    /// reproduced watermark tracked as the minimum completed-TID frontier
+    /// across shards (see `frontier`).
+    pub reproduce_threads: usize,
     /// Shadow-memory configuration.
     pub shadow: ShadowConfig,
 }
@@ -63,8 +69,16 @@ impl DudeTmConfig {
             persist_group: 1,
             compress_groups: false,
             checkpoint_every: 16,
+            reproduce_threads: 1,
             shadow: ShadowConfig::Identity,
         }
+    }
+
+    /// Sets the number of Reproduce shard workers.
+    #[must_use]
+    pub fn with_reproduce_threads(mut self, threads: usize) -> Self {
+        self.reproduce_threads = threads;
+        self
     }
 
     /// Switches the durability mode.
@@ -102,6 +116,11 @@ impl DudeTmConfig {
         assert!(self.persist_threads >= 1);
         assert!(self.persist_group >= 1);
         assert!(self.checkpoint_every >= 1);
+        assert!(
+            (1..=64).contains(&self.reproduce_threads),
+            "reproduce_threads must be in 1..=64, got {}",
+            self.reproduce_threads
+        );
         if self.persist_group > 1 {
             assert!(
                 !matches!(self.durability, DurabilityMode::Sync),
@@ -158,6 +177,23 @@ mod tests {
         let mut c = DudeTmConfig::small(1 << 20).with_grouping(8, false);
         c.persist_threads = 2;
         c.validate();
+    }
+
+    #[test]
+    fn reproduce_threads_builder_composes() {
+        let c = DudeTmConfig::small(1 << 20)
+            .with_reproduce_threads(4)
+            .with_durability(DurabilityMode::AsyncUnbounded);
+        assert_eq!(c.reproduce_threads, 4);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "reproduce_threads must be in 1..=64")]
+    fn zero_reproduce_threads_rejected() {
+        DudeTmConfig::small(1 << 20)
+            .with_reproduce_threads(0)
+            .validate();
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 mod config;
 mod engine;
+pub mod frontier;
 pub mod log;
 mod pipeline;
 mod plog;
@@ -58,6 +59,7 @@ mod stats;
 
 pub use config::{DudeTmConfig, DurabilityMode};
 pub use engine::{EngineThread, TmEngine};
+pub use frontier::{shard_of, split_writes, ReproduceFrontier, SHARD_GRAIN_BYTES};
 pub use log::{LogRecord, ParsedRecord};
 pub use plog::{scan_region, PlogRing, PlogSpan};
 pub use recovery::{recover_device, RecoverError, RecoveryReport};

@@ -12,19 +12,28 @@
 //! persistent heap, periodically checkpoints the reproduced ID, and only
 //! then recycles log space.
 //!
+//! With `reproduce_threads > 1`, Reproduce splits into a *router* and `N`
+//! *shard workers*: the router performs the dense reorder, partitions each
+//! batch's writes by heap shard ([`crate::frontier`]), and fans them out;
+//! each worker applies its shard's writes, fences, and publishes its
+//! completed TID. The checkpoint — and therefore log recycling — keys off
+//! the minimum completed TID across shards, never a single worker's
+//! progress.
+//!
 //! With `persist_group > 1`, a single Persist thread merges all threads'
 //! records into global ID order and applies *cross-transaction log
 //! combination* (and optionally compression) to each group of consecutive
 //! transactions before flushing — the Figure 3 optimizations, which are
 //! only safe because grouping happens on globally consecutive IDs.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 
+use crate::frontier::split_writes;
 use crate::log::{combine, serialize_abort, serialize_commit, serialize_group, LogRecord};
 use crate::plog::PlogSpan;
 use crate::runtime::Shared;
@@ -310,7 +319,7 @@ pub(crate) fn persist_worker_grouped(
 /// The Reproduce worker (§3.4): replays batches in dense transaction-ID
 /// order onto the persistent heap, checkpoints, and recycles log space.
 pub(crate) fn reproduce_worker(shared: Arc<Shared>, rx: Receiver<Batch>) {
-    dude_nvm::set_background_stage(true);
+    let _bg = dude_nvm::background_stage_scope();
     let mut heap: BinaryHeap<Batch> = BinaryHeap::new();
     let mut expected = shared.reproduced.load(Ordering::Acquire) + 1;
     let mut pending_release: Vec<(usize, PlogSpan)> = Vec::new();
@@ -343,6 +352,10 @@ pub(crate) fn reproduce_worker(shared: Arc<Shared>, rx: Receiver<Batch>) {
             expected = batch.last_tid + 1;
             // Volatile progress marker: gates paged-shadow swap-ins (§4.3).
             shared.reproduced.store(expected - 1, Ordering::Release);
+            // Serial mode is the one-shard degenerate case: mirror progress
+            // into the frontier so stats read uniformly across modes.
+            shared.frontier.note_applied(0, batch.writes.len() as u64);
+            shared.frontier.publish(0, expected - 1);
             pending_release.extend(batch.spans);
             if since_checkpoint >= shared.config.checkpoint_every {
                 checkpoint(&shared, expected - 1, &mut pending_release);
@@ -370,10 +383,181 @@ pub(crate) fn reproduce_worker(shared: Arc<Shared>, rx: Receiver<Batch>) {
     }
 }
 
+/// One dense batch's writes for one shard. Sent to every shard worker for
+/// every batch — an empty write set still advances the shard's frontier,
+/// otherwise an untouched shard would pin the minimum forever.
+#[derive(Debug)]
+pub(crate) struct ShardWork {
+    pub last_tid: u64,
+    pub writes: Vec<(u64, u64)>,
+}
+
+/// The sharded-Reproduce router: performs the dense transaction-ID reorder
+/// (exactly like [`reproduce_worker`]), splits each batch's writes by heap
+/// shard, fans them out to the shard workers, and checkpoints at the
+/// minimum completed-TID frontier.
+///
+/// The router itself never touches the heap; it is the only writer of the
+/// checkpoint word and the only thread that recycles log spans. A span is
+/// released only once the checkpoint covering its last TID — which by the
+/// frontier minimum is applied *and fenced on every shard* — is durable.
+pub(crate) fn reproduce_router(
+    shared: Arc<Shared>,
+    rx: Receiver<Batch>,
+    shard_txs: Vec<Sender<ShardWork>>,
+) {
+    let _bg = dude_nvm::background_stage_scope();
+    let shards = shard_txs.len();
+    let mut heap: BinaryHeap<Batch> = BinaryHeap::new();
+    let start = shared.reproduced.load(Ordering::Acquire);
+    let mut expected = start + 1;
+    // Spans awaiting a covering checkpoint, FIFO in dispatch (= TID) order.
+    let mut pending_release: VecDeque<(u64, Vec<(usize, PlogSpan)>)> = VecDeque::new();
+    let mut watermark = start;
+    let mut last_checkpoint = start;
+    loop {
+        let mut idle = false;
+        let disconnected = match rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(batch) => {
+                heap.push(batch);
+                false
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                idle = true;
+                false
+            }
+            Err(RecvTimeoutError::Disconnected) => true,
+        };
+        while heap.peek().is_some_and(|b| b.first_tid == expected) {
+            let batch = heap.pop().expect("peeked batch");
+            for (s, writes) in split_writes(&batch.writes, shards).into_iter().enumerate() {
+                // A worker only exits after draining its channel, so a send
+                // can fail only during teardown-after-panic; the router's
+                // own frontier wait below would surface that.
+                let _ = shard_txs[s].send(ShardWork {
+                    last_tid: batch.last_tid,
+                    writes,
+                });
+            }
+            pending_release.push_back((batch.last_tid, batch.spans));
+            expected = batch.last_tid + 1;
+        }
+        // Publish the global watermark: the slowest shard's completed TID.
+        let f = shared.frontier.min_completed();
+        if f > watermark {
+            shared
+                .stats
+                .txns_reproduced
+                .fetch_add(f - watermark, Ordering::Relaxed);
+            watermark = f;
+            shared.reproduced.store(f, Ordering::Release);
+        }
+        if f - last_checkpoint >= shared.config.checkpoint_every || (idle && f > last_checkpoint) {
+            let mut spans = covered_spans(&mut pending_release, f);
+            checkpoint(&shared, f, &mut spans);
+            last_checkpoint = f;
+        }
+        if disconnected {
+            if let Some(top) = heap.peek() {
+                panic!(
+                    "reproduce(router): tid {expected} missing with pipeline \
+                     closed (next available {})",
+                    top.first_tid
+                );
+            }
+            break;
+        }
+    }
+    // Drain: close the shard channels, wait for every shard to finish all
+    // dispatched work, then take the final checkpoint.
+    drop(shard_txs);
+    let target = expected - 1;
+    while shared.frontier.min_completed() < target {
+        std::thread::yield_now();
+    }
+    if target > watermark {
+        shared
+            .stats
+            .txns_reproduced
+            .fetch_add(target - watermark, Ordering::Relaxed);
+        shared.reproduced.store(target, Ordering::Release);
+    }
+    let mut spans = covered_spans(&mut pending_release, target);
+    debug_assert!(pending_release.is_empty(), "spans beyond the last batch");
+    checkpoint(&shared, target, &mut spans);
+}
+
+/// Pops the spans whose covering TID is at or below `frontier`.
+fn covered_spans(
+    pending: &mut VecDeque<(u64, Vec<(usize, PlogSpan)>)>,
+    frontier: u64,
+) -> Vec<(usize, PlogSpan)> {
+    let mut spans = Vec::new();
+    while pending.front().is_some_and(|&(tid, _)| tid <= frontier) {
+        spans.extend(pending.pop_front().expect("peeked entry").1);
+    }
+    spans
+}
+
+/// A Reproduce shard worker: applies its shard's slice of each batch to
+/// the persistent heap, fences its own flushes, and only then publishes
+/// its completed TID to the frontier.
+///
+/// The fence-before-publish order is load-bearing: the checkpoint trusts
+/// the frontier minimum without issuing flushes of its own for heap data,
+/// so a TID a shard publishes must already be durable *on that shard*. One
+/// fence covers a whole drained run of batches, keeping the barrier count
+/// comparable to the serial worker's.
+pub(crate) fn reproduce_shard_worker(shared: Arc<Shared>, shard: usize, rx: Receiver<ShardWork>) {
+    let _bg = dude_nvm::background_stage_scope();
+    let mut run: Vec<ShardWork> = Vec::new();
+    loop {
+        match rx.recv() {
+            Ok(w) => run.push(w),
+            Err(_) => return,
+        }
+        // Batch whatever else is already queued so one fence covers the
+        // whole run (bounded: the frontier should not stall on a hot shard).
+        while run.len() < 128 {
+            match rx.try_recv() {
+                Ok(w) => run.push(w),
+                Err(_) => break,
+            }
+        }
+        let mut words = 0u64;
+        for work in &run {
+            for &(addr, val) in &work.writes {
+                let off = shared.heap.start() + addr;
+                shared.nvm.write_word(off, val);
+                shared.nvm.flush(off, 8);
+                words += 1;
+            }
+        }
+        if words > 0 {
+            // Nothing flushed ⇒ no fence: an all-empty run (aborts, or no
+            // writes routed here) must not pay the barrier latency.
+            shared.nvm.fence();
+            shared.frontier.note_applied(shard, words);
+        }
+        let last = run.last().expect("run is non-empty").last_tid;
+        shared.frontier.publish(shard, last);
+        run.clear();
+    }
+}
+
 /// Durably records `reproduced` in the metadata region, then recycles the
-/// covered log spans. The single fence also covers all data-line flushes
-/// issued since the last checkpoint, so recovery never observes a
-/// checkpoint ahead of its data.
+/// covered log spans.
+///
+/// Ordering audit (the span-release-vs-durability question): the release
+/// loop runs strictly after the fence returns, and `reproduced` is only
+/// ever (a) the serial worker's dense replay position, whose data flushes
+/// this same fence covers, or (b) the frontier minimum, whose data every
+/// shard worker fenced *before* publishing. In both cases the checkpoint
+/// word and all heap data it claims are durable before any span is handed
+/// back for reuse. The hole this audit did find was downstream: recovery
+/// replayed released-but-not-yet-overwritten records *below* the
+/// checkpoint, regressing the heap (see `recovery.rs`; regression test
+/// `stale_released_record_below_checkpoint_is_not_replayed`).
 fn checkpoint(shared: &Shared, reproduced: u64, pending_release: &mut Vec<(usize, PlogSpan)>) {
     let off = shared.meta.start() + crate::runtime::META_REPRODUCED * 8;
     shared.nvm.write_word(off, reproduced);

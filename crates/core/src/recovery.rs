@@ -1,15 +1,27 @@
 //! Crash recovery (§3.5).
 //!
 //! Recovery scans the persistent log regions, collects every intact record,
-//! and replays them **in increasing ID order until the first gap above the
-//! durable reproduced-ID checkpoint**. A gap means the missing transaction's
-//! log never became durable; it — and everything after it, which could
-//! causally depend on it — is discarded. Transactions whose durability was
-//! acknowledged can never be part of the discarded tail, because
-//! acknowledgement requires the durable ID to cover them, which requires
-//! every smaller ID to be persisted. Records at or below the checkpoint are
-//! replayed too (idempotent redo): a torn crash can persist the checkpoint
-//! word while losing a flushed-but-unfenced data line it claims to cover.
+//! and replays **the one contiguous run of transaction IDs that spans the
+//! durable reproduced-ID checkpoint**, in increasing ID order. Records
+//! above the run's end sit beyond an ID gap: the missing transaction's log
+//! never became durable, so they — and everything after them, which could
+//! causally depend on the gap — are discarded. Transactions whose
+//! durability was acknowledged can never be part of the discarded tail,
+//! because acknowledgement requires the durable ID to cover them, which
+//! requires every smaller ID to be persisted.
+//!
+//! Within the chosen run, records at or below the checkpoint are replayed
+//! too (idempotent redo): a torn crash can persist the checkpoint word
+//! while losing a flushed-but-unfenced data line it claims to cover, and
+//! the covering records are provably still intact because log spans are
+//! recycled only after the covering checkpoint's fence completes. Intact
+//! records *detached* from the checkpoint's run on the low side are a
+//! different matter: they are released-but-not-yet-overwritten spans from
+//! an earlier recycling cycle, whose successors are gone. Replaying one
+//! would regress the heap to a stale value with no later record left to
+//! repair it, so they are skipped (`stale_skipped`). The run containing
+//! the checkpoint is unique: records never overlap, so two qualifying runs
+//! would be adjacent and would have merged.
 
 use std::sync::Arc;
 
@@ -34,6 +46,10 @@ pub struct RecoveryReport {
     /// Intact log records that were discarded because they sat beyond the
     /// first ID gap (persisted but never acknowledged durable).
     pub discarded: u64,
+    /// Stale records skipped: intact but wholly below the checkpoint and
+    /// detached from its run — released log spans not yet overwritten,
+    /// whose replay would regress the heap.
+    pub stale_skipped: u64,
 }
 
 /// Errors returned by [`recover_device`].
@@ -101,17 +117,7 @@ pub fn recover_device(
     let checkpoint = nvm.read_word(layout.meta.start() + META_REPRODUCED * 8);
 
     // Collect every intact record from every log ring, in transaction-ID
-    // order. Records at or below the checkpoint are NOT skipped: on real
-    // hardware, flushed lines can drain in any order before the fence, so
-    // a crash inside the checkpoint's `CLWB`/`SFENCE` window can persist
-    // the checkpoint word while tearing a data line it claims to cover
-    // (the emulator's torn-cache-line crash reproduces this). The covering
-    // records are provably still intact — log spans are recycled only
-    // after their checkpoint's fence completes, and a completed fence
-    // makes the data durable — so replaying every intact record in ID
-    // order (idempotent redo: each record carries final values for its
-    // range) repairs any such hole. The same rule absorbs a *group* record
-    // straddling the checkpoint (`first_tid <= checkpoint < last_tid`).
+    // order.
     let mut records = Vec::new();
     for &region in &layout.plogs {
         records.extend(scan_region(nvm, region));
@@ -130,31 +136,60 @@ pub fn recover_device(
         );
     }
 
-    // Replay in ID order. Above the checkpoint the dense-prefix rule
-    // applies: the first gap means that transaction's log never became
-    // durable, and everything after it is discarded.
-    let mut expected = checkpoint + 1;
-    let mut replayed = 0u64;
-    let mut discarded = 0u64;
+    // Group the records into contiguous TID runs (a record straddling a
+    // boundary keeps its run going: `first_tid <= run_end + 1`) and find
+    // the run spanning the checkpoint, i.e. reaching back to at most
+    // `checkpoint + 1` and forward to at least `checkpoint`. Uniqueness:
+    // two qualifying runs would be adjacent (the later one must start at
+    // or below `checkpoint + 1`, at most one past the earlier one's end)
+    // and so would have merged into one.
+    //
+    // Replay only that run, in ID order — idempotent redo: on real
+    // hardware, flushed lines can drain in any order before the fence, so
+    // a crash inside the checkpoint's `CLWB`/`SFENCE` window can persist
+    // the checkpoint word while tearing a data line it claims to cover
+    // (the emulator's torn-cache-line crash reproduces this); replaying
+    // the run's sub-checkpoint records repairs any such hole because each
+    // record carries final values for its ID range. Runs entirely below
+    // the checkpoint are stale recycled spans and must NOT be replayed;
+    // runs entirely above it sit beyond an ID gap and are discarded.
+    let mut runs: Vec<Vec<crate::log::ParsedRecord>> = Vec::new();
     for rec in records {
-        if rec.first_tid > expected {
-            // Gap: this record and all later ones (sorted order) sit beyond
-            // it. Each discarded record may cover a whole group.
-            discarded += rec.last_tid - rec.first_tid + 1;
-            continue;
-        }
-        for &(addr, val) in &rec.writes {
-            let off = layout.heap.start() + addr;
-            nvm.write_word(off, val);
-            nvm.flush(off, 8);
-        }
-        if rec.last_tid >= expected {
-            // Count only IDs not already covered by the checkpoint.
-            replayed += rec.last_tid - expected + 1;
-            expected = rec.last_tid + 1;
+        match runs.last_mut() {
+            Some(run) if rec.first_tid <= run.last().expect("non-empty run").last_tid + 1 => {
+                run.push(rec);
+            }
+            _ => runs.push(vec![rec]),
         }
     }
-    let last_tid = expected - 1;
+    let mut last_tid = checkpoint;
+    let mut replayed = 0u64;
+    let mut discarded = 0u64;
+    let mut stale_skipped = 0u64;
+    for run in runs {
+        let first = run.first().expect("non-empty run").first_tid;
+        let last = run.last().expect("non-empty run").last_tid;
+        if last < checkpoint {
+            stale_skipped += run.len() as u64;
+        } else if first > checkpoint + 1 {
+            // Beyond the gap; each discarded record may cover a group.
+            discarded += run
+                .iter()
+                .map(|rec| rec.last_tid - rec.first_tid + 1)
+                .sum::<u64>();
+        } else {
+            for rec in &run {
+                for &(addr, val) in &rec.writes {
+                    let off = layout.heap.start() + addr;
+                    nvm.write_word(off, val);
+                    nvm.flush(off, 8);
+                }
+            }
+            // Count only IDs not already covered by the checkpoint.
+            replayed = last - checkpoint;
+            last_tid = last;
+        }
+    }
     nvm.write_word(layout.meta.start() + META_REPRODUCED * 8, last_tid);
     nvm.flush(layout.meta.start() + META_REPRODUCED * 8, 8);
     nvm.fence();
@@ -184,6 +219,7 @@ pub fn recover_device(
         last_tid,
         replayed,
         discarded,
+        stale_skipped,
     };
     Ok((layout, report))
 }

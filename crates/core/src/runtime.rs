@@ -11,8 +11,12 @@ use parking_lot::Mutex;
 
 use crate::config::{DudeTmConfig, DurabilityMode};
 use crate::engine::{EngineThread, TmEngine};
+use crate::frontier::ReproduceFrontier;
 use crate::log::{serialize_abort, serialize_commit, LogRecord};
-use crate::pipeline::{persist_worker, persist_worker_grouped, reproduce_worker, Batch};
+use crate::pipeline::{
+    persist_worker, persist_worker_grouped, reproduce_router, reproduce_shard_worker,
+    reproduce_worker, Batch, ShardWork,
+};
 use crate::plog::PlogRing;
 use crate::seqtrack::SequenceTracker;
 use crate::shadow::ShadowMem;
@@ -74,6 +78,7 @@ pub struct Shared {
     pub(crate) rings: Vec<Arc<PlogRing>>,
     pub(crate) tracker: SequenceTracker,
     pub(crate) reproduced: Arc<AtomicU64>,
+    pub(crate) frontier: Arc<ReproduceFrontier>,
     pub(crate) stats: PipelineStats,
 }
 
@@ -258,6 +263,7 @@ impl<E: TmEngine> DudeTm<E> {
             rings,
             tracker: SequenceTracker::starting_at(start_tid),
             reproduced: Arc::clone(&reproduced),
+            frontier: Arc::new(ReproduceFrontier::new(config.reproduce_threads, start_tid)),
             stats: PipelineStats::default(),
         });
         let shadow = Arc::new(ShadowMem::new(
@@ -324,7 +330,27 @@ impl<E: TmEngine> DudeTm<E> {
                 }
             }
         }
-        {
+        if config.reproduce_threads > 1 {
+            let mut shard_txs = Vec::with_capacity(config.reproduce_threads);
+            for s in 0..config.reproduce_threads {
+                let (tx, rx) = unbounded::<ShardWork>();
+                shard_txs.push(tx);
+                let shared2 = Arc::clone(&shared);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("dude-reproduce-shard-{s}"))
+                        .spawn(move || reproduce_shard_worker(shared2, s, rx))
+                        .expect("spawn reproduce shard worker"),
+                );
+            }
+            let shared2 = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("dude-reproduce".into())
+                    .spawn(move || reproduce_router(shared2, batch_rx, shard_txs))
+                    .expect("spawn reproduce router"),
+            );
+        } else {
             let shared2 = Arc::clone(&shared);
             workers.push(
                 std::thread::Builder::new()
@@ -393,6 +419,8 @@ impl<E: TmEngine> DudeTm<E> {
             durable: self.durable_id(),
             reproduced: self.reproduced_id(),
             ring_used_words: self.shared.rings.iter().map(|r| r.used_words()).collect(),
+            shard_completed: self.shared.frontier.snapshot_completed(),
+            shard_words_applied: self.shared.frontier.snapshot_words_applied(),
         }
     }
 

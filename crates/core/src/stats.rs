@@ -126,6 +126,13 @@ pub struct PipelineSnapshot {
     /// Occupied words in each per-thread persistent log ring — the log
     /// space Reproduce has not yet recycled.
     pub ring_used_words: Vec<u64>,
+    /// Per-shard completed-TID frontier of the Reproduce stage (one entry
+    /// with `reproduce_threads = 1`; the serial worker mirrors its progress
+    /// into slot 0). `reproduced` equals the minimum of these.
+    pub shard_completed: Vec<u64>,
+    /// Heap words applied by each Reproduce shard — how evenly the shard
+    /// router spread the replay work.
+    pub shard_words_applied: Vec<u64>,
 }
 
 impl PipelineSnapshot {
@@ -145,9 +152,23 @@ impl PipelineSnapshot {
         self.ring_used_words.iter().sum()
     }
 
+    /// The minimum per-shard completed TID — the Reproduce frontier the
+    /// checkpoint keys off. 0 if no shard data was sampled.
+    pub fn frontier_min(&self) -> u64 {
+        self.shard_completed.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Spread between the fastest and slowest Reproduce shard (0 when
+    /// serial or perfectly balanced): large skew means one shard gates the
+    /// watermark and log recycling.
+    pub fn frontier_skew(&self) -> u64 {
+        let max = self.shard_completed.iter().copied().max().unwrap_or(0);
+        max - self.frontier_min()
+    }
+
     /// One-line human-readable summary (bench-report friendly).
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "committed={} durable={} (lag {}) reproduced={} (lag {}) \
              ring-words={} commits={} aborts={} replayed={} checkpoints={}",
             self.committed,
@@ -160,7 +181,15 @@ impl PipelineSnapshot {
             self.counters.abort_markers,
             self.counters.txns_reproduced,
             self.counters.checkpoints,
-        )
+        );
+        if self.shard_completed.len() > 1 {
+            line.push_str(&format!(
+                " shards={} frontier-skew={}",
+                self.shard_completed.len(),
+                self.frontier_skew()
+            ));
+        }
+        line
     }
 }
 
@@ -209,6 +238,28 @@ mod tests {
         assert!(line.contains("committed=100"), "{line}");
         assert!(line.contains("(lag 10)"), "{line}");
         assert!(line.contains("ring-words=20"), "{line}");
+    }
+
+    #[test]
+    fn frontier_math_and_shard_summary() {
+        let snap = PipelineSnapshot {
+            reproduced: 70,
+            shard_completed: vec![75, 70, 82, 71],
+            shard_words_applied: vec![100, 90, 120, 95],
+            ..Default::default()
+        };
+        assert_eq!(snap.frontier_min(), 70);
+        assert_eq!(snap.frontier_skew(), 12);
+        let line = snap.summary();
+        assert!(line.contains("shards=4"), "{line}");
+        assert!(line.contains("frontier-skew=12"), "{line}");
+        // Serial snapshots stay terse.
+        let serial = PipelineSnapshot {
+            shard_completed: vec![70],
+            ..Default::default()
+        };
+        assert!(!serial.summary().contains("shards="));
+        assert_eq!(serial.frontier_skew(), 0);
     }
 
     #[test]

@@ -113,6 +113,72 @@ fn two_straddling_records_are_rejected() {
     let _ = recover_device(&nvm, &config);
 }
 
+/// A log span is released only after the covering checkpoint's fence, but
+/// "released" is a ring-pointer move — the record's bytes stay intact
+/// until the ring wraps over them. If the transactions between that
+/// record and the checkpoint were recycled *and* overwritten, recovery
+/// sees an intact record wholly below the checkpoint with no successors
+/// left to re-overwrite its writes. Replaying it would regress the heap
+/// to a stale value; recovery must skip it.
+#[test]
+fn stale_released_record_below_checkpoint_is_not_replayed() {
+    let nvm = test_nvm();
+    let config = tiny_config();
+    let layout = formatted(&nvm, config);
+    // Stale survivor: tid 3 once wrote 333 to heap word 0...
+    let mut buf = Vec::new();
+    log::serialize_commit(3, &[(0, 333)], &mut buf);
+    plant_record(&nvm, &layout, 0, &buf);
+    // ...but the durable state has moved on: some later transaction (whose
+    // record was recycled and overwritten) left 999 there, and the durable
+    // checkpoint covers tids through 9.
+    nvm.write_word(layout.heap.start(), 999);
+    nvm.persist(layout.heap.start(), 8);
+    nvm.write_word(layout.meta.start() + META_REPRODUCED_OFF, 9);
+    nvm.persist(layout.meta.start() + META_REPRODUCED_OFF, 8);
+
+    let (_, report) = recover_device(&nvm, &config).expect("recover");
+    assert_eq!(report.checkpoint, 9);
+    assert_eq!(report.last_tid, 9, "stale record must not extend history");
+    assert_eq!(report.replayed, 0);
+    assert_eq!(
+        report.discarded, 0,
+        "below-checkpoint records are not a lost tail"
+    );
+    assert_eq!(report.stale_skipped, 1);
+    assert_eq!(
+        nvm.read_word(layout.heap.start()),
+        999,
+        "stale tid-3 write regressed the heap"
+    );
+}
+
+/// The complementary case: a sub-checkpoint record that is *adjacent* to
+/// the checkpoint's run is covered-but-unreleased state (or a released
+/// span whose successors all survive) and must still be replayed — the
+/// idempotent-redo repair for torn checkpoint windows.
+#[test]
+fn sub_checkpoint_record_in_checkpoint_run_still_replays() {
+    let nvm = test_nvm();
+    let config = tiny_config();
+    let layout = formatted(&nvm, config);
+    let mut buf = Vec::new();
+    // Tids 2 and 3 intact, checkpoint 3: run [2..=3] spans the checkpoint.
+    log::serialize_commit(2, &[(0, 22)], &mut buf);
+    plant_record(&nvm, &layout, 0, &buf);
+    log::serialize_commit(3, &[(8, 33)], &mut buf);
+    plant_record(&nvm, &layout, 1, &buf);
+    nvm.write_word(layout.meta.start() + META_REPRODUCED_OFF, 3);
+    nvm.persist(layout.meta.start() + META_REPRODUCED_OFF, 8);
+
+    let (_, report) = recover_device(&nvm, &config).expect("recover");
+    assert_eq!(report.last_tid, 3);
+    assert_eq!(report.replayed, 0, "both tids already under the checkpoint");
+    assert_eq!(report.stale_skipped, 0);
+    assert_eq!(nvm.read_word(layout.heap.start()), 22, "torn-window repair");
+    assert_eq!(nvm.read_word(layout.heap.start() + 8), 33);
+}
+
 #[test]
 fn recovery_wipes_stale_log_records() {
     let nvm = test_nvm();

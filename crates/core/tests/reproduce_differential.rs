@@ -1,0 +1,219 @@
+//! Differential replay oracle for the sharded Reproduce stage.
+//!
+//! The serial Reproduce worker (`reproduce_threads = 1`) is the reference
+//! implementation: it replays the committed sequence in dense
+//! transaction-ID order, so after a full drain the persistent heap image
+//! *is* the semantics. Sharded replay (N = 2, 4, 8) reorders work across
+//! shards and interleaves fences arbitrarily, but because every address
+//! maps to exactly one shard it must converge to the byte-identical image.
+//!
+//! Each workload runs on a single Perform thread with a fixed seed, so
+//! the committed sequence — and therefore the reference image — is the
+//! same in every run; only the Reproduce configuration varies. Small log
+//! rings and a short checkpoint cadence force span recycling mid-run, so
+//! the frontier-keyed checkpoint path is exercised, not just the drain.
+//!
+//! `DUDE_DIFF_SEEDS` (comma-separated u64s) adds extra seeds — CI runs
+//! three more on top of the built-in ones.
+
+use std::sync::Arc;
+
+use dude_nvm::{Nvm, NvmConfig};
+use dude_txapi::{PAddr, TxnSystem, TxnThread};
+use dudetm::{DudeTm, DudeTmConfig, DurabilityMode};
+
+const HEAP_BYTES: u64 = 1 << 16;
+const HEAP_WORDS: u64 = HEAP_BYTES / 8;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn config(reproduce_threads: usize) -> DudeTmConfig {
+    DudeTmConfig {
+        max_threads: 2,
+        // Small rings + short cadence: recycling must happen mid-run.
+        plog_bytes_per_thread: 4096,
+        checkpoint_every: 4,
+        ..DudeTmConfig::small(HEAP_BYTES)
+    }
+    .with_durability(DurabilityMode::Async { buffer_txns: 64 })
+    .with_reproduce_threads(reproduce_threads)
+}
+
+fn lcg(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x >> 11
+}
+
+/// Runs `workload` to a clean shutdown under the given Reproduce config
+/// and returns the drained persistent heap image.
+fn heap_image(reproduce_threads: usize, seed: u64, workload: fn(&mut Runner, u64)) -> Vec<u64> {
+    let nvm = Arc::new(Nvm::new(NvmConfig::for_testing(1 << 18)));
+    let dude = DudeTm::create_stm(Arc::clone(&nvm), config(reproduce_threads));
+    let heap = dude.heap_region();
+    {
+        let mut t = dude.register_thread();
+        workload(&mut t, seed);
+    }
+    // Drop drains the pipeline and takes the final checkpoint.
+    drop(dude);
+    (0..HEAP_WORDS)
+        .map(|w| nvm.read_word(heap.start() + w * 8))
+        .collect()
+}
+
+type Runner<'a> = dudetm::DtmThread<'a, dude_stm::Stm>;
+
+/// Bank: random transfers between 64 accounts — dense, conflicting
+/// addresses, money conserved.
+fn bank(t: &mut Runner, seed: u64) {
+    const ACCOUNTS: u64 = 64;
+    t.run(&mut |tx| {
+        for i in 0..ACCOUNTS {
+            tx.write_word(PAddr::from_word_index(i), 1000)?;
+        }
+        Ok(())
+    })
+    .expect_committed();
+    let mut x = seed;
+    for _ in 0..200 {
+        let a = lcg(&mut x) % ACCOUNTS;
+        let b = lcg(&mut x) % ACCOUNTS;
+        if a == b {
+            continue;
+        }
+        t.run(&mut |tx| {
+            let va = tx.read_word(PAddr::from_word_index(a))?;
+            tx.write_word(PAddr::from_word_index(a), va.wrapping_sub(3))?;
+            let vb = tx.read_word(PAddr::from_word_index(b))?;
+            tx.write_word(PAddr::from_word_index(b), vb.wrapping_add(3))
+        })
+        .expect_committed();
+    }
+}
+
+/// KV: hashed put/overwrite/delete over a slot table — scattered
+/// addresses, repeated overwrites of hot keys.
+fn kv(t: &mut Runner, seed: u64) {
+    const SLOTS: u64 = 1024;
+    let slot =
+        |k: u64| PAddr::from_word_index(64 + (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) % SLOTS) * 2);
+    let mut x = seed;
+    for op in 0..250 {
+        let k = lcg(&mut x) % 96; // hot key space: plenty of overwrites
+        let v = lcg(&mut x);
+        let s = slot(k);
+        t.run(&mut |tx| {
+            if op % 7 == 6 {
+                // Delete: clear slot and tombstone.
+                tx.write_word(s, 0)?;
+                tx.write_word(PAddr::new(s.offset() + 8), u64::MAX)
+            } else {
+                tx.write_word(s, k + 1)?;
+                tx.write_word(PAddr::new(s.offset() + 8), v)
+            }
+        })
+        .expect_committed();
+    }
+}
+
+/// BTree-like: fixed-arity nodes of 16 words; inserts touch a root
+/// counter, an interior node, and a leaf — multi-word structural writes
+/// spanning several cache lines per transaction.
+fn btree_like(t: &mut Runner, seed: u64) {
+    const NODE_WORDS: u64 = 16;
+    const NODES: u64 = 128;
+    let root = PAddr::from_word_index(0);
+    let node_word = |n: u64, w: u64| PAddr::from_word_index(8 + n * NODE_WORDS + w);
+    let mut x = seed;
+    for _ in 0..200 {
+        let key = lcg(&mut x) % 4096;
+        let interior = key % 16;
+        let leaf = 16 + key % (NODES - 16);
+        t.run(&mut |tx| {
+            let count = tx.read_word(root)?;
+            tx.write_word(root, count + 1)?;
+            // Interior: bump occupancy, record the routed key.
+            let occ = tx.read_word(node_word(interior, 0))?;
+            tx.write_word(node_word(interior, 0), occ + 1)?;
+            tx.write_word(node_word(interior, 1 + key % (NODE_WORDS - 1)), key)?;
+            // Leaf: key/value pair plus a version word.
+            let slot = 1 + key % ((NODE_WORDS - 1) / 2);
+            tx.write_word(node_word(leaf, slot * 2 - 1), key)?;
+            tx.write_word(node_word(leaf, slot * 2), count)?;
+            tx.write_word(node_word(leaf, 0), count)
+        })
+        .expect_committed();
+    }
+}
+
+fn assert_differential(name: &str, workload: fn(&mut Runner, u64), seed: u64) {
+    let reference = heap_image(1, seed, workload);
+    assert!(
+        reference.iter().any(|&w| w != 0),
+        "{name}: workload left no trace in the heap"
+    );
+    for &n in &SHARD_COUNTS[1..] {
+        let image = heap_image(n, seed, workload);
+        assert_eq!(
+            image, reference,
+            "{name} seed {seed:#x}: sharded replay (N={n}) diverged from serial"
+        );
+    }
+}
+
+fn extra_seeds() -> Vec<u64> {
+    std::env::var("DUDE_DIFF_SEEDS")
+        .map(|s| {
+            s.split(',')
+                .filter(|t| !t.trim().is_empty())
+                .map(|t| t.trim().parse().expect("DUDE_DIFF_SEEDS: u64 list"))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[test]
+fn bank_images_identical_across_shard_counts() {
+    assert_differential("bank", bank, 0xB01D_FACE);
+    for seed in extra_seeds() {
+        assert_differential("bank", bank, seed);
+    }
+}
+
+#[test]
+fn kv_images_identical_across_shard_counts() {
+    assert_differential("kv", kv, 0x0FF1_CE);
+    for seed in extra_seeds() {
+        assert_differential("kv", kv, seed);
+    }
+}
+
+#[test]
+fn btree_images_identical_across_shard_counts() {
+    assert_differential("btree", btree_like, 0x5EED_BEEF);
+    for seed in extra_seeds() {
+        assert_differential("btree", btree_like, seed);
+    }
+}
+
+/// The oracle also holds through a crashless restart: recover each image
+/// and make sure the recovered runtime agrees on the reproduced history.
+#[test]
+fn sharded_drain_is_recoverable() {
+    let nvm = Arc::new(Nvm::new(NvmConfig::for_testing(1 << 18)));
+    let dude = DudeTm::create_stm(Arc::clone(&nvm), config(4));
+    {
+        let mut t = dude.register_thread();
+        bank(&mut t, 0xB01D_FACE);
+    }
+    let committed = dude.stats_snapshot().committed;
+    drop(dude);
+    let (dude2, report) = DudeTm::recover_stm(Arc::clone(&nvm), config(4)).expect("recovery");
+    assert_eq!(
+        report.last_tid, committed,
+        "clean shutdown checkpointed everything"
+    );
+    assert_eq!(report.replayed, 0);
+    drop(dude2);
+}

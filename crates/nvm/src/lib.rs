@@ -46,7 +46,10 @@ pub use device::{
 };
 pub use region::Region;
 pub use stats::{NvmStats, StatsSnapshot};
-pub use timing::{is_background_stage, set_background_stage, TimingConfig, TimingModel};
+pub use timing::{
+    background_stage_scope, is_background_stage, set_background_stage, BackgroundStageScope,
+    TimingConfig, TimingModel,
+};
 
 /// Bytes per emulated cache line (flush granularity).
 pub const CACHE_LINE: u64 = 64;

@@ -101,6 +101,32 @@ pub fn is_background_stage() -> bool {
     BACKGROUND_STAGE.with(|b| b.get())
 }
 
+/// RAII guard marking the calling thread as a background pipeline stage
+/// for its lifetime (see [`set_background_stage`]). Pipeline workers hold
+/// one for their whole run so every persistence event they emit — and
+/// every crash plan filtered on [`StageFilter::Background`] — attributes
+/// to the background stage, even if the worker unwinds.
+///
+/// [`StageFilter::Background`]: crate::StageFilter::Background
+#[derive(Debug)]
+pub struct BackgroundStageScope {
+    was: bool,
+}
+
+/// Enters a background-stage scope on the calling thread.
+#[must_use = "the scope ends when the guard drops"]
+pub fn background_stage_scope() -> BackgroundStageScope {
+    let was = is_background_stage();
+    set_background_stage(true);
+    BackgroundStageScope { was }
+}
+
+impl Drop for BackgroundStageScope {
+    fn drop(&mut self) {
+        set_background_stage(self.was);
+    }
+}
+
 /// Runtime delay injector for persist barriers.
 ///
 /// Also accumulates the total modeled delay so experiments can report how

@@ -178,13 +178,12 @@ fn check_recovery(
 /// `stride`-th index (stride chosen so at most ~`max_points` rounds run) and
 /// verifies recovery each time. Returns (rounds, rounds that tripped).
 fn sweep(
-    mode: DurabilityMode,
+    cfg: DudeTmConfig,
     event: CrashEventKind,
     stage: StageFilter,
     torn: bool,
     max_points: u64,
 ) -> (u64, u64) {
-    let cfg = config(mode);
     let states = expected_states();
     let nvm = fresh_nvm();
     run_bank(&nvm, cfg, None);
@@ -220,7 +219,7 @@ const ASYNC: DurabilityMode = DurabilityMode::Async { buffer_txns: 64 };
 #[test]
 fn sweep_async_background_flushes() {
     let (rounds, tripped) = sweep(
-        ASYNC,
+        config(ASYNC),
         CrashEventKind::Flush,
         StageFilter::Background,
         false,
@@ -236,7 +235,7 @@ fn sweep_async_background_flushes() {
 #[test]
 fn sweep_async_background_fences() {
     let (rounds, tripped) = sweep(
-        ASYNC,
+        config(ASYNC),
         CrashEventKind::Fence,
         StageFilter::Background,
         false,
@@ -253,7 +252,7 @@ fn sweep_async_background_fences() {
 fn sweep_async_background_writes() {
     // Stores are the densest event class; stride-sample them.
     let (rounds, tripped) = sweep(
-        ASYNC,
+        config(ASYNC),
         CrashEventKind::Write,
         StageFilter::Background,
         false,
@@ -268,7 +267,13 @@ fn sweep_async_background_writes() {
 
 #[test]
 fn sweep_async_torn_cacheline() {
-    let (rounds, tripped) = sweep(ASYNC, CrashEventKind::Flush, StageFilter::Any, true, 50);
+    let (rounds, tripped) = sweep(
+        config(ASYNC),
+        CrashEventKind::Flush,
+        StageFilter::Any,
+        true,
+        50,
+    );
     assert!(rounds >= 40, "only {rounds} torn-line crash points");
     assert!(
         tripped >= rounds / 2,
@@ -279,7 +284,7 @@ fn sweep_async_torn_cacheline() {
 #[test]
 fn sweep_sync_foreground_flushes() {
     let (rounds, tripped) = sweep(
-        DurabilityMode::Sync,
+        config(DurabilityMode::Sync),
         CrashEventKind::Flush,
         StageFilter::Foreground,
         false,
@@ -295,7 +300,7 @@ fn sweep_sync_foreground_flushes() {
 #[test]
 fn sweep_sync_foreground_fences_torn() {
     let (rounds, tripped) = sweep(
-        DurabilityMode::Sync,
+        config(DurabilityMode::Sync),
         CrashEventKind::Fence,
         StageFilter::Foreground,
         true,
@@ -305,6 +310,90 @@ fn sweep_sync_foreground_fences_torn() {
         rounds >= 20,
         "only {rounds} torn foreground-fence crash points"
     );
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+// ---- Sharded Reproduce (`reproduce_threads = 4`) ------------------------
+//
+// The same four invariants under the conflict-sharded Reproduce stage. The
+// prefix oracle is the frontier invariant made observable: the checkpoint
+// is the *minimum* completed TID across shards, every shard ahead of it
+// still has its log records unreleased, so recovery replays the run
+// spanning the checkpoint and lands exactly on a committed prefix — a
+// shard can never be durably ahead of what the checkpoint can repair.
+
+fn sharded(mode: DurabilityMode) -> DudeTmConfig {
+    config(mode).with_reproduce_threads(4)
+}
+
+#[test]
+fn sweep_sharded_background_flushes() {
+    let (rounds, tripped) = sweep(
+        sharded(ASYNC),
+        CrashEventKind::Flush,
+        StageFilter::Background,
+        false,
+        60,
+    );
+    assert!(
+        rounds >= 40,
+        "only {rounds} sharded background-flush points"
+    );
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_sharded_background_fences() {
+    // Shard workers fence independently, so this class now has events from
+    // N + 1 background threads (workers + router checkpoint).
+    let (rounds, tripped) = sweep(
+        sharded(ASYNC),
+        CrashEventKind::Fence,
+        StageFilter::Background,
+        false,
+        40,
+    );
+    assert!(rounds >= 5, "only {rounds} sharded background-fence points");
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_sharded_torn_cacheline() {
+    let (rounds, tripped) = sweep(
+        sharded(ASYNC),
+        CrashEventKind::Flush,
+        StageFilter::Any,
+        true,
+        40,
+    );
+    assert!(rounds >= 30, "only {rounds} sharded torn-line points");
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_sharded_sync_mode_writes() {
+    // Sync durability feeds batches straight into the router; sweep the
+    // densest event class through that path too.
+    let (rounds, tripped) = sweep(
+        sharded(DurabilityMode::Sync),
+        CrashEventKind::Write,
+        StageFilter::Background,
+        false,
+        40,
+    );
+    assert!(rounds >= 30, "only {rounds} sharded sync-write points");
     assert!(
         tripped >= rounds / 2,
         "only {tripped}/{rounds} plans tripped"
