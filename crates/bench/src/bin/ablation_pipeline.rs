@@ -13,13 +13,55 @@
 //!   that lifts the pipeline's single-threaded drain ceiling.
 
 use dude_bench::report::fmt_tps;
-use dude_bench::{quick_flag, run_combo, BenchEnv, SystemKind, Table, WorkloadKind};
-use dudetm::DurabilityMode;
+use dude_bench::{
+    quick_flag, run_combo, trace_out_flag, BenchEnv, SystemKind, Table, WorkloadKind,
+};
+use dudetm::{DurabilityMode, TraceConfig};
+
+/// Extra columns for sections 2–4: commit-latency and persist-barrier
+/// percentiles in microseconds, or dashes when the layer is off (so the
+/// CSV schema is stable across traced and untraced runs).
+const LATENCY_HEADERS: [&str; 6] = [
+    "commit p50 (us)",
+    "commit p95 (us)",
+    "commit p99 (us)",
+    "barrier p50 (us)",
+    "barrier p95 (us)",
+    "barrier p99 (us)",
+];
+
+fn latency_cols(trace: &dudetm::Trace) -> Vec<String> {
+    if !trace.enabled() {
+        return vec!["-".to_string(); 6];
+    }
+    let us = |v: u64| format!("{:.2}", v as f64 / 1000.0);
+    let c = trace.commit_latency_ns.snapshot();
+    let b = trace.persist_barrier_ns.snapshot();
+    vec![
+        us(c.p50()),
+        us(c.p95()),
+        us(c.p99()),
+        us(b.p50()),
+        us(b.p95()),
+        us(b.p99()),
+    ]
+}
 
 fn main() {
     let quick = quick_flag();
     let base = BenchEnv::from_quick(quick);
     let workload = WorkloadKind::TpccHash;
+    let trace_out = trace_out_flag();
+    // 64 Ki records is enough to keep the tail of a quick run; overflow is
+    // reported in the export rather than silently truncated.
+    let trace_cfg = if trace_out.is_some() {
+        TraceConfig::enabled(64 * 1024)
+    } else {
+        TraceConfig::disabled()
+    };
+    // The traced run whose JSON export lands in `--trace-out` (the last
+    // traced run of the binary — the largest shard-drain configuration).
+    let mut last_trace_json: Option<String> = None;
 
     // 1. Volatile log buffer size.
     let mut table = Table::new(
@@ -45,10 +87,9 @@ fn main() {
     // 2. Persist thread count. (On this single-CPU host, more persist
     // threads can only add scheduling overhead — the interesting direction
     // is that one thread does NOT become a bottleneck.)
-    let mut table = Table::new(
-        "Ablation — persist threads (TPC-C hash, DudeTM)",
-        &["persist threads", "throughput"],
-    );
+    let mut headers = vec!["persist threads", "throughput"];
+    headers.extend(LATENCY_HEADERS);
+    let mut table = Table::new("Ablation — persist threads (TPC-C hash, DudeTM)", &headers);
     // `BenchEnv` pins one persist thread; emulate the sweep via config by
     // reusing run_combo with modified env is not wired for this knob, so
     // construct directly.
@@ -74,6 +115,7 @@ fn main() {
             checkpoint_every: 64,
             reproduce_threads: 1,
             shadow: dudetm::ShadowConfig::Identity,
+            trace: trace_cfg,
         };
         let sys = dudetm::DudeTm::create_stm(nvm, config);
         let w = dude_bench::workloads::build_workload(workload, &env);
@@ -95,15 +137,22 @@ fn main() {
             "  pipeline [{threads} persist threads]: {}",
             sys.stats_snapshot().summary()
         );
-        table.push(vec![threads.to_string(), fmt_tps(stats.throughput)]);
+        let mut row = vec![threads.to_string(), fmt_tps(stats.throughput)];
+        row.extend(latency_cols(sys.trace()));
+        if trace_cfg.enabled {
+            last_trace_json = Some(sys.trace().to_json());
+        }
+        table.push(row);
     }
     table.print();
     table.save_csv("bench_results");
 
     // 3. Checkpoint cadence.
+    let mut headers = vec!["checkpoint every (txns)", "throughput"];
+    headers.extend(LATENCY_HEADERS);
     let mut table = Table::new(
         "Ablation — reproduce checkpoint cadence (TPC-C hash, DudeTM)",
-        &["checkpoint every (txns)", "throughput"],
+        &headers,
     );
     for &every in if quick {
         &[8u64, 512][..]
@@ -127,6 +176,7 @@ fn main() {
             checkpoint_every: every,
             reproduce_threads: 1,
             shadow: dudetm::ShadowConfig::Identity,
+            trace: trace_cfg,
         };
         let sys = dudetm::DudeTm::create_stm(nvm, config);
         let w = dude_bench::workloads::build_workload(workload, &env);
@@ -142,7 +192,12 @@ fn main() {
             env.ops_per_thread(),
         );
         sys.quiesce();
-        table.push(vec![every.to_string(), fmt_tps(stats.throughput)]);
+        let mut row = vec![every.to_string(), fmt_tps(stats.throughput)];
+        row.extend(latency_cols(sys.trace()));
+        if trace_cfg.enabled {
+            last_trace_json = Some(sys.trace().to_json());
+        }
+        table.push(row);
     }
     table.print();
     table.save_csv("bench_results");
@@ -155,9 +210,11 @@ fn main() {
     // commit burst. Shard workers wait out modeled NVM delays in parallel
     // wall-clock windows, so the drain rate scales with N until the
     // Persist stage becomes the ceiling.
+    let mut headers = vec!["reproduce threads", "drain throughput", "speedup"];
+    headers.extend(LATENCY_HEADERS);
     let mut table = Table::new(
         "Ablation — reproduce shard workers (write-heavy drain, DudeTM-Inf)",
-        &["reproduce threads", "drain throughput", "speedup"],
+        &headers,
     );
     let ops: u64 = if quick { 1_500 } else { 6_000 };
     let mut serial_rate = None;
@@ -190,6 +247,7 @@ fn main() {
             checkpoint_every: 64,
             reproduce_threads: rt,
             shadow: dudetm::ShadowConfig::Identity,
+            trace: trace_cfg,
         };
         let sys = dudetm::DudeTm::create_stm(nvm, config);
         let lines = env.heap_bytes / 64;
@@ -227,8 +285,23 @@ fn main() {
             secs * 1e3,
             sys.stats_snapshot().summary()
         );
-        table.push(vec![rt.to_string(), fmt_tps(rate), speedup]);
+        let mut row = vec![rt.to_string(), fmt_tps(rate), speedup];
+        row.extend(latency_cols(sys.trace()));
+        if trace_cfg.enabled {
+            last_trace_json = Some(sys.trace().to_json());
+        }
+        table.push(row);
     }
     table.print();
     table.save_csv("bench_results");
+
+    if let Some(path) = trace_out {
+        match last_trace_json {
+            Some(json) => match std::fs::write(&path, json) {
+                Ok(()) => println!("[trace] chrome://tracing JSON written to {path}"),
+                Err(e) => eprintln!("[trace] failed to write {path}: {e}"),
+            },
+            None => eprintln!("[trace] no traced run produced output"),
+        }
+    }
 }

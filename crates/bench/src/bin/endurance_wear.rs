@@ -60,6 +60,7 @@ fn main() {
             checkpoint_every: 64,
             reproduce_threads: 1,
             shadow: dudetm::ShadowConfig::Identity,
+            trace: dudetm::TraceConfig::disabled(),
         };
         let sys = DudeTm::create_stm(Arc::clone(&nvm), config);
         let w = dude_bench::workloads::build_workload(WorkloadKind::Ycsb { theta: 0.99 }, &env);

@@ -1,7 +1,7 @@
 //! Shared experiment parameters.
 
 use dude_workloads::LatencyMode;
-use dudetm::{DurabilityMode, ShadowConfig};
+use dudetm::{DurabilityMode, ShadowConfig, TraceConfig};
 
 /// Parameters shared by all experiments; per-experiment binaries override
 /// individual fields.
@@ -33,6 +33,10 @@ pub struct BenchEnv {
     pub latency_mode: LatencyMode,
     /// RNG seed.
     pub seed: u64,
+    /// Observability layer (histograms, stall counters, event trace).
+    /// Disabled by default so measured throughput carries no recording
+    /// overhead; `--trace-out` in the ablation binary enables it.
+    pub trace: TraceConfig,
 }
 
 impl BenchEnv {
@@ -55,6 +59,7 @@ impl BenchEnv {
             shadow: ShadowConfig::Identity,
             latency_mode: LatencyMode::Off,
             seed: 42,
+            trace: TraceConfig::disabled(),
         }
     }
 

@@ -33,3 +33,16 @@ pub use workloads::WorkloadKind;
 pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
+
+/// Returns the path given with `--trace-out <path>`, if any. Binaries that
+/// support it enable the observability layer and write the final traced
+/// run's chrome://tracing-compatible JSON there.
+pub fn trace_out_flag() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next();
+        }
+    }
+    None
+}

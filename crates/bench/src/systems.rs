@@ -86,6 +86,7 @@ fn dude_config(env: &BenchEnv, durability: DurabilityMode) -> DudeTmConfig {
         checkpoint_every: 64,
         reproduce_threads: 1,
         shadow: env.shadow,
+        trace: env.trace,
     }
 }
 

@@ -15,6 +15,10 @@
 //!
 //! Matching is greedy over a 4-byte hash table, like lz4's fast mode.
 //!
+//! Why an in-tree compressor stands in for lz4 is covered in
+//! `DESIGN.md §Substitutions`; where compression sits in the Persist stage
+//! (combined groups only) in `DESIGN.md §Pipeline`.
+//!
 //! # Example
 //!
 //! ```

@@ -1,6 +1,7 @@
 //! Runtime configuration.
 
 use crate::shadow::ShadowConfig;
+use crate::trace::TraceConfig;
 
 /// How a committed transaction reaches durability (the evaluated system
 /// variants of §5.1).
@@ -54,6 +55,11 @@ pub struct DudeTmConfig {
     pub reproduce_threads: usize,
     /// Shadow-memory configuration.
     pub shadow: ShadowConfig,
+    /// Observability-layer configuration (event ring, histograms, stall
+    /// counters — see [`crate::trace`]). Disabled by default; when disabled
+    /// the pipeline's observable behavior is identical to a build without
+    /// the layer.
+    pub trace: TraceConfig,
 }
 
 impl DudeTmConfig {
@@ -71,7 +77,15 @@ impl DudeTmConfig {
             checkpoint_every: 16,
             reproduce_threads: 1,
             shadow: ShadowConfig::Identity,
+            trace: TraceConfig::disabled(),
         }
+    }
+
+    /// Switches the observability-layer configuration.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Sets the number of Reproduce shard workers.
@@ -120,6 +134,19 @@ impl DudeTmConfig {
             (1..=64).contains(&self.reproduce_threads),
             "reproduce_threads must be in 1..=64, got {}",
             self.reproduce_threads
+        );
+        // Compression only ever runs on *combined groups* (§3.3): the
+        // grouped persist path serializes a whole group and then compresses
+        // it. With persist_group == 1 the grouped path is never taken, so
+        // compress_groups would be silently ignored — reject the no-op
+        // combination instead of letting a benchmark believe it measured
+        // compression.
+        assert!(
+            !(self.compress_groups && self.persist_group == 1),
+            "compress_groups has no effect without log combination: \
+             compression runs on combined groups only (§3.3), so \
+             persist_group must be > 1 when compress_groups is set \
+             (got persist_group = 1)"
         );
         if self.persist_group > 1 {
             assert!(
@@ -194,6 +221,22 @@ mod tests {
         DudeTmConfig::small(1 << 20)
             .with_reproduce_threads(0)
             .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "compress_groups has no effect without log combination")]
+    fn compression_without_grouping_rejected() {
+        let mut c = DudeTmConfig::small(1 << 20);
+        c.compress_groups = true; // persist_group stays 1: a silent no-op
+        c.validate();
+    }
+
+    #[test]
+    fn trace_builder_composes() {
+        let c = DudeTmConfig::small(1 << 20).with_trace(TraceConfig::enabled(4096));
+        assert!(c.trace.enabled);
+        assert_eq!(c.trace.ring_capacity, 4096);
+        c.validate();
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //! evictions cannot break crash consistency, no read is ever redirected,
 //! and no write needs its own fence.
 //!
+//! The repository's `DESIGN.md` documents the architecture in depth: the
+//! three-stage pipeline and its sharded Reproduce variant are covered in
+//! `DESIGN.md §Pipeline`, and the observability layer ([`trace`],
+//! [`PipelineSnapshot`]) in `DESIGN.md §Observability`.
+//!
 //! # Example
 //!
 //! ```
@@ -44,6 +49,7 @@
 //! dude.quiesce(); // Reproduce has applied it to the heap image
 //! # let _ = tid;
 //! ```
+#![warn(missing_docs)]
 
 mod config;
 mod engine;
@@ -56,6 +62,7 @@ mod runtime;
 mod seqtrack;
 mod shadow;
 mod stats;
+pub mod trace;
 
 pub use config::{DudeTmConfig, DurabilityMode};
 pub use engine::{EngineThread, TmEngine};
@@ -67,6 +74,10 @@ pub use runtime::{dtm_abort, DtmThread, DtmTx, DudeTm, NvmLayout, RedoHooks};
 pub use seqtrack::SequenceTracker;
 pub use shadow::{PagingMode, ShadowConfig, ShadowMem, ShadowStats, ShadowView, PAGE_BYTES};
 pub use stats::{PipelineSnapshot, PipelineStats, PipelineStatsSnapshot};
+pub use trace::{
+    HistogramSnapshot, LatencyHistogram, StallSnapshot, Trace, TraceConfig, TraceEventKind,
+    TraceRecord, TraceRing,
+};
 
 use std::sync::Arc;
 

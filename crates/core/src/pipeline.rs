@@ -37,6 +37,7 @@ use crate::frontier::split_writes;
 use crate::log::{combine, serialize_abort, serialize_commit, serialize_group, LogRecord};
 use crate::plog::PlogSpan;
 use crate::runtime::Shared;
+use crate::trace::{Stage, TraceEventKind};
 
 /// A persisted unit handed from Persist to Reproduce.
 #[derive(Debug)]
@@ -83,6 +84,15 @@ fn try_stage_record(
         LogRecord::Abort { .. } => serialize_abort(tid, buf),
     }
     let Some(span) = shared.rings[ring_idx].try_append_unfenced(buf) else {
+        // Persist is blocked on log space Reproduce has not recycled yet —
+        // the stall the bounded NVM log ring exists to make visible.
+        if shared.trace.enabled() {
+            shared
+                .trace
+                .stalls
+                .persist_ring_full
+                .fetch_add(1, Ordering::Relaxed);
+        }
         return Err(rec);
     };
     let writes = match rec {
@@ -162,7 +172,27 @@ pub(crate) fn persist_worker(
         if !staged.is_empty() {
             // One ordering barrier covers the whole sweep (batched persist,
             // §3.3); its modeled cost covers all flushed bytes.
-            shared.nvm.fence();
+            if shared.trace.enabled() {
+                let bytes: u64 = staged
+                    .iter()
+                    .flat_map(|b| b.spans.iter())
+                    .map(|&(_, span)| span.words * 8)
+                    .sum();
+                let t0 = dude_nvm::monotonic_ns();
+                shared.nvm.fence();
+                let dur = dude_nvm::monotonic_ns().saturating_sub(t0);
+                shared.trace.persist_barrier_ns.record(dur);
+                let last_tid = staged.iter().map(|b| b.last_tid).max().unwrap_or(0);
+                shared.trace.event(
+                    Stage::Persist,
+                    TraceEventKind::PersistBarrier,
+                    last_tid,
+                    bytes,
+                    dur,
+                );
+            } else {
+                shared.nvm.fence();
+            }
             for batch in staged.drain(..) {
                 shared.tracker.mark(batch.first_tid);
                 // Reproduce may have exited during shutdown teardown; the
@@ -213,7 +243,25 @@ pub(crate) fn persist_worker_grouped(
             // compressor sees runs of shared high address bytes.
             combined.sort_unstable_by_key(|&(a, _)| a);
             let (raw, stored) = serialize_group(first, last, &combined, compress, buf);
-            let span = shared.rings[0].append(buf);
+            let span = if shared.trace.enabled() {
+                // `append` = write + flush + fence: the whole group-persist
+                // barrier, timed as one event.
+                let t0 = dude_nvm::monotonic_ns();
+                let span = shared.rings[0].append(buf);
+                let dur = dude_nvm::monotonic_ns().saturating_sub(t0);
+                shared.trace.persist_barrier_ns.record(dur);
+                shared.trace.group_flush_bytes.record(stored as u64);
+                shared.trace.event(
+                    Stage::Persist,
+                    TraceEventKind::GroupFlush,
+                    last,
+                    stored as u64,
+                    dur,
+                );
+                span
+            } else {
+                shared.rings[0].append(buf)
+            };
             shared
                 .stats
                 .entries_logged
@@ -333,16 +381,38 @@ pub(crate) fn reproduce_worker(shared: Arc<Shared>, rx: Receiver<Batch>) {
             }
             Err(RecvTimeoutError::Timeout) => {
                 idle = true;
+                // Starved = idling with nothing even out-of-order queued:
+                // replay has caught up with the Persist stage entirely.
+                if shared.trace.enabled() && heap.is_empty() {
+                    shared
+                        .trace
+                        .stalls
+                        .reproduce_starved
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 false
             }
             Err(RecvTimeoutError::Disconnected) => true,
         };
         while heap.peek().is_some_and(|b| b.first_tid == expected) {
             let batch = heap.pop().expect("peeked batch");
+            let tracing = shared.trace.enabled();
+            let t0 = if tracing { dude_nvm::monotonic_ns() } else { 0 };
             for &(addr, val) in &batch.writes {
                 let off = shared.heap.start() + addr;
                 shared.nvm.write_word(off, val);
                 shared.nvm.flush(off, 8);
+            }
+            if tracing {
+                let dur = dude_nvm::monotonic_ns().saturating_sub(t0);
+                shared.trace.replay_apply_ns[0].record(dur);
+                shared.trace.event(
+                    Stage::Reproduce,
+                    TraceEventKind::ReplayApply,
+                    batch.last_tid,
+                    8 * batch.writes.len() as u64,
+                    dur,
+                );
             }
             shared
                 .stats
@@ -424,6 +494,13 @@ pub(crate) fn reproduce_router(
             }
             Err(RecvTimeoutError::Timeout) => {
                 idle = true;
+                if shared.trace.enabled() && heap.is_empty() {
+                    shared
+                        .trace
+                        .stalls
+                        .reproduce_starved
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 false
             }
             Err(RecvTimeoutError::Disconnected) => true,
@@ -472,7 +549,17 @@ pub(crate) fn reproduce_router(
     // dispatched work, then take the final checkpoint.
     drop(shard_txs);
     let target = expected - 1;
+    let counting = shared.trace.enabled();
     while shared.frontier.min_completed() < target {
+        // Each yield is one tick of the final checkpoint waiting on the
+        // slowest shard — the drain-time cost of frontier skew.
+        if counting {
+            shared
+                .trace
+                .stalls
+                .checkpoint_wait
+                .fetch_add(1, Ordering::Relaxed);
+        }
         std::thread::yield_now();
     }
     if target > watermark {
@@ -525,6 +612,8 @@ pub(crate) fn reproduce_shard_worker(shared: Arc<Shared>, shard: usize, rx: Rece
             }
         }
         let mut words = 0u64;
+        let tracing = shared.trace.enabled();
+        let t0 = if tracing { dude_nvm::monotonic_ns() } else { 0 };
         for work in &run {
             for &(addr, val) in &work.writes {
                 let off = shared.heap.start() + addr;
@@ -540,6 +629,20 @@ pub(crate) fn reproduce_shard_worker(shared: Arc<Shared>, shard: usize, rx: Rece
             shared.frontier.note_applied(shard, words);
         }
         let last = run.last().expect("run is non-empty").last_tid;
+        if tracing && words > 0 {
+            // Apply + fence for the whole run: what this shard's slice of
+            // the replay actually cost (empty runs are pure bookkeeping and
+            // would drown the histogram in zeros).
+            let dur = dude_nvm::monotonic_ns().saturating_sub(t0);
+            shared.trace.replay_apply_ns[shard].record(dur);
+            shared.trace.event(
+                Stage::Reproduce,
+                TraceEventKind::ReplayApply,
+                last,
+                8 * words,
+                dur,
+            );
+        }
         shared.frontier.publish(shard, last);
         run.clear();
     }
@@ -564,7 +667,20 @@ fn checkpoint(shared: &Shared, reproduced: u64, pending_release: &mut Vec<(usize
     shared.nvm.flush(off, 8);
     shared.nvm.fence();
     shared.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+    let released: u64 = pending_release
+        .iter()
+        .map(|&(_, span)| span.words * 8)
+        .sum();
     for (ring_idx, span) in pending_release.drain(..) {
         shared.rings[ring_idx].release(span);
     }
+    // `bytes` here is the log space the checkpoint recycled — the payoff
+    // side of the checkpoint cadence trade-off.
+    shared.trace.event(
+        Stage::Checkpoint,
+        TraceEventKind::CheckpointWrite,
+        reproduced,
+        released,
+        0,
+    );
 }

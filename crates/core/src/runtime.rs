@@ -21,6 +21,7 @@ use crate::plog::PlogRing;
 use crate::seqtrack::SequenceTracker;
 use crate::shadow::ShadowMem;
 use crate::stats::{PipelineSnapshot, PipelineStats, PipelineStatsSnapshot};
+use crate::trace::{Stage, Trace, TraceEventKind};
 
 /// Magic number identifying a formatted DudeTM device.
 pub(crate) const META_MAGIC: u64 = 0xD00D_E7A6_0001_CAFE;
@@ -80,6 +81,7 @@ pub struct Shared {
     pub(crate) reproduced: Arc<AtomicU64>,
     pub(crate) frontier: Arc<ReproduceFrontier>,
     pub(crate) stats: PipelineStats,
+    pub(crate) trace: Trace,
 }
 
 /// Where a thread's committed redo logs go.
@@ -105,6 +107,9 @@ pub struct RedoHooks {
     shared: Arc<Shared>,
     shadow: Arc<ShadowMem>,
     buf: Vec<u64>,
+    /// Payload bytes of the last committed transaction (8 × its writes),
+    /// captured for the Perform-stage commit trace event.
+    last_commit_bytes: u64,
 }
 
 impl RedoHooks {
@@ -157,12 +162,30 @@ impl dude_stm::TxHooks for RedoHooks {
         // Touching IDs must be set while the written pages are still pinned
         // by the running view (§4.3).
         self.shadow.note_commit(tid, &self.staged);
+        self.last_commit_bytes = 8 * self.staged.len() as u64;
         let writes = std::mem::take(&mut self.staged);
         match &self.sink {
             Sink::Channel(tx) => {
                 // A full bounded buffer blocks here — the Perform-side
-                // backpressure of §3.2.
-                let _ = tx.send(LogRecord::Commit { tid, writes });
+                // backpressure of §3.2. With tracing on, count the stall
+                // before blocking so the layer can tell "Perform waited on
+                // Persist" from "Perform ran free".
+                if self.shared.trace.enabled() {
+                    match tx.try_send(LogRecord::Commit { tid, writes }) {
+                        Ok(()) => {}
+                        Err(crossbeam::channel::TrySendError::Full(rec)) => {
+                            self.shared
+                                .trace
+                                .stalls
+                                .perform_log_full
+                                .fetch_add(1, Ordering::Relaxed);
+                            let _ = tx.send(rec);
+                        }
+                        Err(crossbeam::channel::TrySendError::Disconnected(_)) => {}
+                    }
+                } else {
+                    let _ = tx.send(LogRecord::Commit { tid, writes });
+                }
             }
             Sink::Sync { .. } => self.send_sync_record(LogRecord::Commit { tid, writes }),
         }
@@ -265,6 +288,7 @@ impl<E: TmEngine> DudeTm<E> {
             reproduced: Arc::clone(&reproduced),
             frontier: Arc::new(ReproduceFrontier::new(config.reproduce_threads, start_tid)),
             stats: PipelineStats::default(),
+            trace: Trace::new(config.trace, config.reproduce_threads),
         });
         let shadow = Arc::new(ShadowMem::new(
             config.shadow,
@@ -408,6 +432,13 @@ impl<E: TmEngine> DudeTm<E> {
         self.shared.stats.snapshot()
     }
 
+    /// The observability layer: event ring, stage-latency histograms, and
+    /// stall counters (see [`crate::trace`]). Always present; records
+    /// nothing unless [`DudeTmConfig::trace`] enables it.
+    pub fn trace(&self) -> &Trace {
+        &self.shared.trace
+    }
+
     /// Point-in-time view of the whole pipeline: the per-stage counters
     /// plus the committed/durable/reproduced watermarks and per-ring log
     /// occupancy. The watermarks are sampled independently (racily) — use
@@ -421,6 +452,7 @@ impl<E: TmEngine> DudeTm<E> {
             ring_used_words: self.shared.rings.iter().map(|r| r.used_words()).collect(),
             shard_completed: self.shared.frontier.snapshot_completed(),
             shard_words_applied: self.shared.frontier.snapshot_words_applied(),
+            stalls: self.shared.trace.stalls.snapshot(),
         }
     }
 
@@ -501,6 +533,7 @@ impl<E: TmEngine> TxnSystem for DudeTm<E> {
                 shared: Arc::clone(&self.shared),
                 shadow: Arc::clone(&self.shadow),
                 buf: Vec::new(),
+                last_commit_bytes: 0,
             },
         }
     }
@@ -538,6 +571,16 @@ impl<'d, E: TmEngine> DtmThread<'d, E> {
         body: &mut dyn FnMut(&mut dyn Txn) -> TxResult<T>,
     ) -> TxnOutcome<T> {
         let heap_bytes = self.dude.shared.config.heap_bytes;
+        let trace = &self.dude.shared.trace;
+        // Commit latency is wall time from first attempt to commit
+        // acknowledgement on this thread — retried aborts of the same
+        // transaction are inside the window, exactly what the application
+        // experiences. Clock reads are skipped entirely when tracing is off.
+        let start_ns = if trace.enabled() {
+            dude_nvm::monotonic_ns()
+        } else {
+            0
+        };
         let view = self.dude.shadow.view();
         let mut slot: Option<T> = None;
         let outcome = self
@@ -551,12 +594,25 @@ impl<'d, E: TmEngine> DtmThread<'d, E> {
                 Ok(())
             });
         match outcome {
-            TxnOutcome::Committed { info, .. } => TxnOutcome::Committed {
-                value: slot
-                    .take()
-                    .expect("committed body must have produced a value"),
-                info,
-            },
+            TxnOutcome::Committed { info, .. } => {
+                if trace.enabled() {
+                    let dur = dude_nvm::monotonic_ns().saturating_sub(start_ns);
+                    trace.commit_latency_ns.record(dur);
+                    trace.event(
+                        Stage::Perform,
+                        TraceEventKind::Commit,
+                        info.tid.unwrap_or(0),
+                        self.hooks.last_commit_bytes,
+                        dur,
+                    );
+                }
+                TxnOutcome::Committed {
+                    value: slot
+                        .take()
+                        .expect("committed body must have produced a value"),
+                    info,
+                }
+            }
             TxnOutcome::Aborted => TxnOutcome::Aborted,
         }
     }

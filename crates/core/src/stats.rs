@@ -1,6 +1,13 @@
 //! Pipeline statistics and the pipeline-lag observability surface.
+//!
+//! Aggregate counters and watermarks live here; the richer per-event layer
+//! (histograms, stall counters, the trace ring) lives in [`crate::trace`]
+//! and its snapshot rides along in [`PipelineSnapshot::stalls`]. See
+//! `DESIGN.md §Observability`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::trace::StallSnapshot;
 
 /// Relaxed counters shared by the pipeline stages.
 #[derive(Debug, Default)]
@@ -133,6 +140,10 @@ pub struct PipelineSnapshot {
     /// Heap words applied by each Reproduce shard — how evenly the shard
     /// router spread the replay work.
     pub shard_words_applied: Vec<u64>,
+    /// Stall counters from the observability layer (all zero when tracing
+    /// is disabled — stall accounting is gated with the rest of the layer
+    /// so the disabled pipeline takes no extra atomics).
+    pub stalls: StallSnapshot,
 }
 
 impl PipelineSnapshot {
@@ -189,6 +200,13 @@ impl PipelineSnapshot {
                 self.frontier_skew()
             ));
         }
+        line.push_str(&format!(
+            " stalls[log-full={} ring-full={} starved={} ckpt-wait={}]",
+            self.stalls.perform_log_full,
+            self.stalls.persist_ring_full,
+            self.stalls.reproduce_starved,
+            self.stalls.checkpoint_wait,
+        ));
         line
     }
 }
@@ -260,6 +278,27 @@ mod tests {
         };
         assert!(!serial.summary().contains("shards="));
         assert_eq!(serial.frontier_skew(), 0);
+    }
+
+    #[test]
+    fn summary_always_prints_all_four_stall_counters() {
+        let snap = PipelineSnapshot {
+            stalls: StallSnapshot {
+                perform_log_full: 3,
+                persist_ring_full: 1,
+                reproduce_starved: 7,
+                checkpoint_wait: 2,
+            },
+            ..Default::default()
+        };
+        let line = snap.summary();
+        assert!(line.contains("log-full=3"), "{line}");
+        assert!(line.contains("ring-full=1"), "{line}");
+        assert!(line.contains("starved=7"), "{line}");
+        assert!(line.contains("ckpt-wait=2"), "{line}");
+        // Zero stalls still print (so readers can see nothing stalled).
+        let quiet = PipelineSnapshot::default().summary();
+        assert!(quiet.contains("log-full=0"), "{quiet}");
     }
 
     #[test]

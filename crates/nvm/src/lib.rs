@@ -19,6 +19,13 @@
 //!   §3.5) whose allocation log is replayed at recovery.
 //! * [`Region`] — typed sub-ranges of the device used to lay out metadata,
 //!   log and heap areas.
+//! * [`monotonic_ns`] — the process-wide monotonic clock the observability
+//!   layer stamps trace events with.
+//!
+//! How this emulation substitutes for the paper's hardware — and why that
+//! preserves the reported behaviour — is argued point by point in
+//! `DESIGN.md §Substitutions`; the pipeline that drives the device is
+//! described in `DESIGN.md §Pipeline`.
 //!
 //! # Example
 //!
@@ -47,8 +54,8 @@ pub use device::{
 pub use region::Region;
 pub use stats::{NvmStats, StatsSnapshot};
 pub use timing::{
-    background_stage_scope, is_background_stage, set_background_stage, BackgroundStageScope,
-    TimingConfig, TimingModel,
+    background_stage_scope, is_background_stage, monotonic_ns, set_background_stage,
+    BackgroundStageScope, TimingConfig, TimingModel,
 };
 
 /// Bytes per emulated cache line (flush granularity).

@@ -11,10 +11,27 @@
 //! technique as the paper's RDTSC loop.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Frequency the paper's cycle counts are quoted at (3.4 GHz Xeon E5-2643).
 pub const PAPER_GHZ: f64 = 3.4;
+
+/// Process-wide monotonic epoch for trace timestamps (first call wins).
+static TRACE_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds elapsed since the process-wide trace epoch (the first call
+/// to this function). This is the shared clock every pipeline stage stamps
+/// trace events with: one origin, monotonic, and the same source the
+/// timing model's busy-waits run on, so event timestamps and modeled
+/// persist delays are directly comparable on one axis.
+///
+/// The epoch is lazily initialized; call once early (the runtime does this
+/// when tracing is enabled) if a zero-based origin matters.
+pub fn monotonic_ns() -> u64 {
+    let epoch = TRACE_EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
 
 /// Configuration of the persistence-cost model.
 #[derive(Debug, Clone, Copy, PartialEq)]

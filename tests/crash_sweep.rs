@@ -400,6 +400,46 @@ fn sweep_sharded_sync_mode_writes() {
     );
 }
 
+// ---- Observability layer under crash sweep ------------------------------
+//
+// The trace layer's zero-behavior-change contract, proven at the hardest
+// boundary: with recording enabled (histograms, stall counters, the event
+// ring all live), every swept crash point must recover to exactly the same
+// committed prefix the untraced sweeps establish. Recording adds clock
+// reads and atomics around the persist barrier and the replay loops; none
+// of that may reorder or add a single durable store.
+
+#[test]
+fn sweep_traced_background_flushes() {
+    let cfg = config(ASYNC).with_trace(dudetm::TraceConfig::enabled(4096));
+    let (rounds, tripped) = sweep(
+        cfg,
+        CrashEventKind::Flush,
+        StageFilter::Background,
+        false,
+        60,
+    );
+    assert!(rounds >= 40, "only {rounds} traced background-flush points");
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_traced_sharded_torn_cacheline() {
+    // Tracing + sharded Reproduce + torn lines: the layer's recording sites
+    // in the shard workers and the router drain loop under the nastiest
+    // crash class.
+    let cfg = sharded(ASYNC).with_trace(dudetm::TraceConfig::enabled(4096));
+    let (rounds, tripped) = sweep(cfg, CrashEventKind::Flush, StageFilter::Any, true, 40);
+    assert!(rounds >= 30, "only {rounds} traced sharded torn points");
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
 /// A swept crash must leave a device the full runtime can restart from, not
 /// just one `recover_device` can read: recover with `DudeTm::recover_stm`,
 /// check the prefix invariant through the runtime's own heap view, and keep
@@ -420,6 +460,9 @@ fn swept_crash_recovers_into_working_runtime() {
 
     let (dude, report) = DudeTm::recover_stm(Arc::clone(&nvm), cfg).expect("recovery");
     assert!(report.last_tid >= acked);
+    // The recovery-time breakdown is populated: scanning two 64 KiB log
+    // regions word-by-word cannot take zero wall time.
+    assert!(report.scan_ns > 0, "scan phase unmeasured: {report:?}");
     let l = report.last_tid as usize;
     let heap = dude.heap_region();
     let bal: Vec<u64> = (0..ACCOUNTS)
