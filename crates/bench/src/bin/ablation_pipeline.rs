@@ -117,7 +117,7 @@ fn main() {
             shadow: dudetm::ShadowConfig::Identity,
             trace: trace_cfg,
         };
-        let sys = dudetm::DudeTm::create_stm(nvm, config);
+        let sys = dudetm::DudeTm::create_stm(nvm, dude_bench::systems::checked(config));
         let w = dude_bench::workloads::build_workload(workload, &env);
         dude_workloads::driver::load_workload(&sys, w.as_ref());
         let stats = dude_workloads::driver::run_fixed_ops(
@@ -178,7 +178,7 @@ fn main() {
             shadow: dudetm::ShadowConfig::Identity,
             trace: trace_cfg,
         };
-        let sys = dudetm::DudeTm::create_stm(nvm, config);
+        let sys = dudetm::DudeTm::create_stm(nvm, dude_bench::systems::checked(config));
         let w = dude_bench::workloads::build_workload(workload, &env);
         dude_workloads::driver::load_workload(&sys, w.as_ref());
         let stats = dude_workloads::driver::run_fixed_ops(
@@ -249,7 +249,7 @@ fn main() {
             shadow: dudetm::ShadowConfig::Identity,
             trace: trace_cfg,
         };
-        let sys = dudetm::DudeTm::create_stm(nvm, config);
+        let sys = dudetm::DudeTm::create_stm(nvm, dude_bench::systems::checked(config));
         let lines = env.heap_bytes / 64;
         {
             let mut t = sys.register_thread();

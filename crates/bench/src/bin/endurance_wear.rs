@@ -62,7 +62,7 @@ fn main() {
             shadow: dudetm::ShadowConfig::Identity,
             trace: dudetm::TraceConfig::disabled(),
         };
-        let sys = DudeTm::create_stm(Arc::clone(&nvm), config);
+        let sys = DudeTm::create_stm(Arc::clone(&nvm), dude_bench::systems::checked(config));
         let w = dude_bench::workloads::build_workload(WorkloadKind::Ycsb { theta: 0.99 }, &env);
         load_workload(&sys, w.as_ref());
         nvm.wear_reset();

@@ -74,8 +74,22 @@ fn bench_nvm(env: &BenchEnv) -> Arc<Nvm> {
     )))
 }
 
+/// Validates a bench-constructed configuration through the typed
+/// [`DudeTmConfig::try_validate`] path. The knobs come straight from
+/// `DUDE_*` environment variables and CLI flags, so an impossible
+/// combination (say `DUDE_PERSIST_GROUP=8` against the Sync system) is
+/// operator error, not a bug: report it as a usage error and exit instead
+/// of panicking from inside runtime construction.
+pub fn checked(config: DudeTmConfig) -> DudeTmConfig {
+    if let Err(e) = config.try_validate() {
+        eprintln!("bench: invalid DudeTM configuration: {e}");
+        std::process::exit(2);
+    }
+    config
+}
+
 fn dude_config(env: &BenchEnv, durability: DurabilityMode) -> DudeTmConfig {
-    DudeTmConfig {
+    checked(DudeTmConfig {
         heap_bytes: env.heap_bytes,
         plog_bytes_per_thread: env.plog_bytes,
         max_threads: env.threads + 4,
@@ -87,7 +101,7 @@ fn dude_config(env: &BenchEnv, durability: DurabilityMode) -> DudeTmConfig {
         reproduce_threads: 1,
         shadow: env.shadow,
         trace: env.trace,
-    }
+    })
 }
 
 fn baseline_config(env: &BenchEnv) -> BaselineConfig {

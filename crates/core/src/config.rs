@@ -23,6 +23,99 @@ pub enum DurabilityMode {
     Sync,
 }
 
+/// A [`DudeTmConfig`] consistency violation, returned by
+/// [`DudeTmConfig::try_validate`].
+///
+/// Each variant names the offending field(s); the [`std::fmt::Display`]
+/// impl carries the full explanation, including the paper-section
+/// references for the pipeline-shape rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `heap_bytes` is zero or not a multiple of the 4 KiB page size.
+    HeapBytes {
+        /// The rejected value.
+        heap_bytes: u64,
+    },
+    /// `plog_bytes_per_thread` is below the 4 KiB minimum.
+    PlogTooSmall {
+        /// The rejected value.
+        plog_bytes_per_thread: u64,
+    },
+    /// `max_threads` is outside `1..=256`.
+    MaxThreads {
+        /// The rejected value.
+        max_threads: usize,
+    },
+    /// `persist_threads` is zero.
+    NoPersistThreads,
+    /// `persist_group` is zero.
+    NoPersistGroup,
+    /// `checkpoint_every` is zero.
+    NoCheckpointCadence,
+    /// `reproduce_threads` is outside `1..=64`.
+    ReproduceThreads {
+        /// The rejected value.
+        reproduce_threads: usize,
+    },
+    /// `compress_groups` set with `persist_group == 1` — a silent no-op.
+    CompressionWithoutGrouping,
+    /// `persist_group > 1` combined with [`DurabilityMode::Sync`].
+    GroupingWithSync,
+    /// `persist_group > 1` combined with `persist_threads > 1`.
+    GroupingWithMultiplePersistThreads {
+        /// The rejected `persist_threads` value.
+        persist_threads: usize,
+    },
+    /// [`DurabilityMode::Async`] with a zero-capacity buffer.
+    EmptyAsyncBuffer,
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::HeapBytes { heap_bytes } => write!(
+                f,
+                "heap_bytes must be a positive multiple of 4096, got {heap_bytes}"
+            ),
+            ConfigError::PlogTooSmall {
+                plog_bytes_per_thread,
+            } => write!(
+                f,
+                "plog_bytes_per_thread must be at least 4096, got {plog_bytes_per_thread}"
+            ),
+            ConfigError::MaxThreads { max_threads } => {
+                write!(f, "max_threads must be in 1..=256, got {max_threads}")
+            }
+            ConfigError::NoPersistThreads => f.write_str("persist_threads must be at least 1"),
+            ConfigError::NoPersistGroup => f.write_str("persist_group must be at least 1"),
+            ConfigError::NoCheckpointCadence => f.write_str("checkpoint_every must be at least 1"),
+            ConfigError::ReproduceThreads { reproduce_threads } => write!(
+                f,
+                "reproduce_threads must be in 1..=64, got {reproduce_threads}"
+            ),
+            ConfigError::CompressionWithoutGrouping => f.write_str(
+                "compress_groups has no effect without log combination: \
+                 compression runs on combined groups only (§3.3), so \
+                 persist_group must be > 1 when compress_groups is set \
+                 (got persist_group = 1)",
+            ),
+            ConfigError::GroupingWithSync => {
+                f.write_str("log combination requires the asynchronous pipeline (§3.3)")
+            }
+            ConfigError::GroupingWithMultiplePersistThreads { persist_threads } => write!(
+                f,
+                "log combination (persist_group > 1) runs on a single persist \
+                 thread; persist_threads must be 1, got {persist_threads}"
+            ),
+            ConfigError::EmptyAsyncBuffer => {
+                f.write_str("DurabilityMode::Async requires buffer_txns >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Configuration of a [`crate::DudeTm`] instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DudeTmConfig {
@@ -118,53 +211,81 @@ impl DudeTmConfig {
         self
     }
 
-    /// Validates internal consistency.
+    /// Validates internal consistency, returning a typed error instead of
+    /// panicking — the entry point for drivers (benchmarks, examples) that
+    /// want to report a bad configuration rather than abort.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a descriptive message on invalid combinations.
-    pub fn validate(&self) {
-        assert!(self.heap_bytes > 0 && self.heap_bytes.is_multiple_of(4096));
-        assert!(self.plog_bytes_per_thread >= 4096);
-        assert!(self.max_threads >= 1 && self.max_threads <= 256);
-        assert!(self.persist_threads >= 1);
-        assert!(self.persist_group >= 1);
-        assert!(self.checkpoint_every >= 1);
-        assert!(
-            (1..=64).contains(&self.reproduce_threads),
-            "reproduce_threads must be in 1..=64, got {}",
-            self.reproduce_threads
-        );
+    /// The first [`ConfigError`] found, checked in field order and then
+    /// combination order.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.heap_bytes == 0 || !self.heap_bytes.is_multiple_of(4096) {
+            return Err(ConfigError::HeapBytes {
+                heap_bytes: self.heap_bytes,
+            });
+        }
+        if self.plog_bytes_per_thread < 4096 {
+            return Err(ConfigError::PlogTooSmall {
+                plog_bytes_per_thread: self.plog_bytes_per_thread,
+            });
+        }
+        if !(1..=256).contains(&self.max_threads) {
+            return Err(ConfigError::MaxThreads {
+                max_threads: self.max_threads,
+            });
+        }
+        if self.persist_threads == 0 {
+            return Err(ConfigError::NoPersistThreads);
+        }
+        if self.persist_group == 0 {
+            return Err(ConfigError::NoPersistGroup);
+        }
+        if self.checkpoint_every == 0 {
+            return Err(ConfigError::NoCheckpointCadence);
+        }
+        if !(1..=64).contains(&self.reproduce_threads) {
+            return Err(ConfigError::ReproduceThreads {
+                reproduce_threads: self.reproduce_threads,
+            });
+        }
         // Compression only ever runs on *combined groups* (§3.3): the
         // grouped persist path serializes a whole group and then compresses
         // it. With persist_group == 1 the grouped path is never taken, so
         // compress_groups would be silently ignored — reject the no-op
         // combination instead of letting a benchmark believe it measured
         // compression.
-        assert!(
-            !(self.compress_groups && self.persist_group == 1),
-            "compress_groups has no effect without log combination: \
-             compression runs on combined groups only (§3.3), so \
-             persist_group must be > 1 when compress_groups is set \
-             (got persist_group = 1)"
-        );
+        if self.compress_groups && self.persist_group == 1 {
+            return Err(ConfigError::CompressionWithoutGrouping);
+        }
         if self.persist_group > 1 {
-            assert!(
-                !matches!(self.durability, DurabilityMode::Sync),
-                "log combination requires the asynchronous pipeline"
-            );
+            if matches!(self.durability, DurabilityMode::Sync) {
+                return Err(ConfigError::GroupingWithSync);
+            }
             // Grouping merges every thread's records into global ID order
             // on one thread; extra persist threads would silently never be
             // spawned, so reject the combination instead of ignoring it.
-            assert!(
-                self.persist_threads == 1,
-                "log combination (persist_group > 1) runs on a single persist \
-                 thread; persist_threads must be 1, got {}",
-                self.persist_threads
-            );
+            if self.persist_threads != 1 {
+                return Err(ConfigError::GroupingWithMultiplePersistThreads {
+                    persist_threads: self.persist_threads,
+                });
+            }
         }
-        if let DurabilityMode::Async { buffer_txns } = self.durability {
-            assert!(buffer_txns >= 1);
+        if matches!(self.durability, DurabilityMode::Async { buffer_txns: 0 }) {
+            return Err(ConfigError::EmptyAsyncBuffer);
+        }
+        Ok(())
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message on invalid combinations;
+    /// [`DudeTmConfig::try_validate`] is the non-panicking form.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("invalid DudeTmConfig: {e}");
         }
     }
 }
@@ -245,5 +366,56 @@ mod tests {
         let mut c = DudeTmConfig::small(1 << 20);
         c.heap_bytes = 1000;
         c.validate();
+    }
+
+    #[test]
+    fn try_validate_accepts_valid_config() {
+        assert_eq!(DudeTmConfig::small(1 << 20).try_validate(), Ok(()));
+    }
+
+    #[test]
+    fn try_validate_returns_typed_errors() {
+        let mut c = DudeTmConfig::small(1 << 20);
+        c.heap_bytes = 1000;
+        assert_eq!(
+            c.try_validate(),
+            Err(ConfigError::HeapBytes { heap_bytes: 1000 })
+        );
+
+        let mut c = DudeTmConfig::small(1 << 20);
+        c.plog_bytes_per_thread = 8;
+        assert!(matches!(
+            c.try_validate(),
+            Err(ConfigError::PlogTooSmall { .. })
+        ));
+
+        let c = DudeTmConfig::small(1 << 20)
+            .with_durability(DurabilityMode::Sync)
+            .with_grouping(8, false);
+        assert_eq!(c.try_validate(), Err(ConfigError::GroupingWithSync));
+
+        let mut c = DudeTmConfig::small(1 << 20).with_grouping(8, false);
+        c.persist_threads = 2;
+        assert_eq!(
+            c.try_validate(),
+            Err(ConfigError::GroupingWithMultiplePersistThreads { persist_threads: 2 })
+        );
+
+        let mut c = DudeTmConfig::small(1 << 20);
+        c.compress_groups = true;
+        assert_eq!(
+            c.try_validate(),
+            Err(ConfigError::CompressionWithoutGrouping)
+        );
+
+        let c =
+            DudeTmConfig::small(1 << 20).with_durability(DurabilityMode::Async { buffer_txns: 0 });
+        assert_eq!(c.try_validate(), Err(ConfigError::EmptyAsyncBuffer));
+    }
+
+    #[test]
+    fn config_error_display_carries_section_reference() {
+        let msg = ConfigError::CompressionWithoutGrouping.to_string();
+        assert!(msg.contains("§3.3"), "missing §-reference: {msg}");
     }
 }

@@ -51,6 +51,7 @@
 //! ```
 #![warn(missing_docs)]
 
+pub mod check;
 mod config;
 mod engine;
 pub mod frontier;
@@ -64,7 +65,8 @@ mod shadow;
 mod stats;
 pub mod trace;
 
-pub use config::{DudeTmConfig, DurabilityMode};
+pub use check::{check_prefix, CommitHistory, HistoryEntry, LinearizabilityError, PrefixReport};
+pub use config::{ConfigError, DudeTmConfig, DurabilityMode};
 pub use engine::{EngineThread, TmEngine};
 pub use frontier::{shard_of, split_writes, ReproduceFrontier, SHARD_GRAIN_BYTES};
 pub use log::{LogRecord, ParsedRecord};

@@ -9,6 +9,7 @@ use dude_nvm::{Nvm, Region};
 use dude_txapi::{PAddr, TxAbort, TxResult, Txn, TxnOutcome, TxnSystem, TxnThread};
 use parking_lot::Mutex;
 
+use crate::check::CommitHistory;
 use crate::config::{DudeTmConfig, DurabilityMode};
 use crate::engine::{EngineThread, TmEngine};
 use crate::frontier::ReproduceFrontier;
@@ -106,6 +107,10 @@ pub struct RedoHooks {
     sink: Sink,
     shared: Arc<Shared>,
     shadow: Arc<ShadowMem>,
+    /// Commit-history recorder for the durable-linearizability checker
+    /// (`None` unless [`DudeTm::attach_history`] was called before this
+    /// thread registered).
+    history: Option<Arc<CommitHistory>>,
     buf: Vec<u64>,
     /// Payload bytes of the last committed transaction (8 × its writes),
     /// captured for the Perform-stage commit trace event.
@@ -159,6 +164,9 @@ impl dude_stm::TxHooks for RedoHooks {
             return;
         };
         self.shared.stats.commits.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = &self.history {
+            h.record(tid, false, &self.staged);
+        }
         // Touching IDs must be set while the written pages are still pinned
         // by the running view (§4.3).
         self.shadow.note_commit(tid, &self.staged);
@@ -194,6 +202,12 @@ impl dude_stm::TxHooks for RedoHooks {
     fn on_abort(&mut self, wasted_tid: Option<u64>) {
         self.staged.clear();
         let Some(tid) = wasted_tid else { return };
+        // A wasted TID is part of the commit order: record the abort marker
+        // so the history stays dense and the prefix oracle can account for
+        // the hole the marker fills.
+        if let Some(h) = &self.history {
+            h.record(tid, true, &[]);
+        }
         self.shared
             .stats
             .abort_markers
@@ -222,6 +236,9 @@ pub struct DudeTm<E: TmEngine> {
     /// Producer side of the persist→reproduce channel (cloned by sync-mode
     /// threads; dropped at shutdown).
     batch_sender: Mutex<Option<Sender<Batch>>>,
+    /// Optional commit-history recorder handed to newly registered threads
+    /// (see [`DudeTm::attach_history`]).
+    history: Mutex<Option<Arc<CommitHistory>>>,
     next_slot: AtomicUsize,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     name: &'static str,
@@ -390,6 +407,7 @@ impl<E: TmEngine> DudeTm<E> {
             shared,
             record_senders,
             batch_sender: Mutex::new(Some(batch_tx)),
+            history: Mutex::new(None),
             next_slot: AtomicUsize::new(0),
             workers: Mutex::new(workers),
             name: match config.durability {
@@ -459,6 +477,16 @@ impl<E: TmEngine> DudeTm<E> {
     /// Shadow paging statistics.
     pub fn shadow_stats(&self) -> crate::shadow::ShadowStats {
         self.shadow.stats()
+    }
+
+    /// Attaches a commit-history recorder: every transaction committed (or
+    /// TID-wasting abort) by threads registered *after* this call is
+    /// recorded into `history` for the durable-linearizability checker
+    /// ([`crate::check`]). Threads registered before the call keep running
+    /// unrecorded — attach before [`DudeTm::register_thread`] for a
+    /// complete history.
+    pub fn attach_history(&self, history: Arc<CommitHistory>) {
+        *self.history.lock() = Some(history);
     }
 
     /// Blocks until every transaction committed so far is both durable and
@@ -532,6 +560,7 @@ impl<E: TmEngine> TxnSystem for DudeTm<E> {
                 sink,
                 shared: Arc::clone(&self.shared),
                 shadow: Arc::clone(&self.shadow),
+                history: self.history.lock().clone(),
                 buf: Vec::new(),
                 last_commit_bytes: 0,
             },

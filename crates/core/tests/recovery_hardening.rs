@@ -179,6 +179,65 @@ fn sub_checkpoint_record_in_checkpoint_run_still_replays() {
     assert_eq!(nvm.read_word(layout.heap.start() + 8), 33);
 }
 
+/// Concurrent Perform threads waste transaction IDs when commit-time
+/// validation fails after the clock tick; the owner persists an abort
+/// marker so the global ID sequence stays dense on the medium. Recovery
+/// must treat the marker as a member of the run — it bridges the commits
+/// on either side into one contiguous history.
+#[test]
+fn abort_marker_bridges_commits_into_one_run() {
+    let nvm = test_nvm();
+    let config = tiny_config();
+    let layout = formatted(&nvm, config);
+    let mut buf = Vec::new();
+    // Thread 0 committed tids 1 and 3; the intervening tid 2 was wasted by
+    // a validation failure on thread 1, which logged an abort marker.
+    log::serialize_commit(1, &[(0, 11)], &mut buf);
+    let mut words = buf.clone();
+    log::serialize_commit(3, &[(8, 33)], &mut buf);
+    words.extend_from_slice(&buf);
+    plant_record(&nvm, &layout, 0, &words);
+    log::serialize_abort(2, &mut buf);
+    plant_record(&nvm, &layout, 1, &buf);
+
+    let (_, report) = recover_device(&nvm, &config).expect("recover");
+    assert_eq!(report.last_tid, 3);
+    assert_eq!(
+        report.replayed, 3,
+        "abort markers count as replayed history"
+    );
+    assert_eq!(report.discarded, 0, "tid 3 is reachable through the marker");
+    assert_eq!(nvm.read_word(layout.heap.start()), 11);
+    assert_eq!(nvm.read_word(layout.heap.start() + 8), 33);
+}
+
+/// The contrast case for the test above: if the abort marker for the
+/// wasted tid never became durable, the commit beyond it is unreachable
+/// and must be discarded — recovering it would publish a transaction whose
+/// durable predecessor set is incomplete.
+#[test]
+fn commit_beyond_missing_abort_marker_is_discarded() {
+    let nvm = test_nvm();
+    let config = tiny_config();
+    let layout = formatted(&nvm, config);
+    let mut buf = Vec::new();
+    log::serialize_commit(1, &[(0, 11)], &mut buf);
+    plant_record(&nvm, &layout, 0, &buf);
+    log::serialize_commit(3, &[(8, 33)], &mut buf);
+    plant_record(&nvm, &layout, 1, &buf);
+
+    let (_, report) = recover_device(&nvm, &config).expect("recover");
+    assert_eq!(report.last_tid, 1);
+    assert_eq!(report.replayed, 1);
+    assert_eq!(report.discarded, 1);
+    assert_eq!(nvm.read_word(layout.heap.start()), 11);
+    assert_eq!(
+        nvm.read_word(layout.heap.start() + 8),
+        0,
+        "unreachable tid-3 write leaked into the heap"
+    );
+}
+
 #[test]
 fn recovery_wipes_stale_log_records() {
     let nvm = test_nvm();

@@ -24,6 +24,12 @@ fn main() {
     }
     // Group 100 consecutive transactions, combine their writes, compress.
     .with_grouping(100, true);
+    // Surface configuration mistakes as a readable usage error (grouping,
+    // for instance, requires an asynchronous pipeline) instead of a panic.
+    if let Err(e) = config.try_validate() {
+        eprintln!("kvstore: invalid configuration: {e}");
+        std::process::exit(2);
+    }
     let dude = DudeTm::create_stm(nvm, config);
 
     let store = SessionStore::new(

@@ -80,6 +80,10 @@ fn main() {
             ..DudeTmConfig::small(HEAP)
         }
         .with_durability(mode);
+        if let Err(e) = config.try_validate() {
+            eprintln!("tpcc: invalid configuration: {e}");
+            std::process::exit(2);
+        }
         let sys = DudeTm::create_stm(nvm(), config);
         let stats = measure(&sys);
         sys.quiesce();

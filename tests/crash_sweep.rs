@@ -440,6 +440,116 @@ fn sweep_traced_sharded_torn_cacheline() {
     );
 }
 
+// ---- Log combination (`persist_group = 8`, §3.3) -------------------------
+//
+// Grouped Persist rewrites history's unit of atomicity: one ring record
+// now covers up to eight transactions (combined, optionally compressed),
+// appended with a single fence. The prefix invariant must hold at group
+// granularity — a crash can only ever add or drop *whole groups*, and a
+// group made unreadable by a torn cache line must be discarded whole, never
+// replayed partially. `check_recovery` enforces exactly that: the recovered
+// balances must match some per-transaction prefix state, which a
+// half-applied group cannot produce.
+
+fn grouped(compress: bool) -> DudeTmConfig {
+    config(ASYNC).with_grouping(8, compress)
+}
+
+#[test]
+fn sweep_grouped_background_flushes() {
+    let (rounds, tripped) = sweep(
+        grouped(false),
+        CrashEventKind::Flush,
+        StageFilter::Background,
+        false,
+        60,
+    );
+    assert!(
+        rounds >= 15,
+        "only {rounds} grouped background-flush points"
+    );
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_grouped_background_fences() {
+    // One fence per group append (that is the point of combination), plus
+    // checkpoint fences: a much sparser class than ungrouped persist.
+    let (rounds, tripped) = sweep(
+        grouped(false),
+        CrashEventKind::Fence,
+        StageFilter::Background,
+        false,
+        60,
+    );
+    assert!(rounds >= 5, "only {rounds} grouped background-fence points");
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_grouped_torn_cacheline() {
+    let (rounds, tripped) = sweep(
+        grouped(false),
+        CrashEventKind::Flush,
+        StageFilter::Any,
+        true,
+        50,
+    );
+    assert!(rounds >= 15, "only {rounds} grouped torn-line crash points");
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_grouped_compressed_torn_cacheline() {
+    // A torn line inside a compressed group corrupts an encoding the
+    // replayer cannot even partially decode; the record checksum must
+    // reject it and recovery must drop the whole group (falling back to
+    // the previous group boundary), never apply a half-group.
+    let (rounds, tripped) = sweep(
+        grouped(true),
+        CrashEventKind::Flush,
+        StageFilter::Any,
+        true,
+        50,
+    );
+    assert!(
+        rounds >= 15,
+        "only {rounds} compressed-group torn crash points"
+    );
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_grouped_compressed_background_writes() {
+    let (rounds, tripped) = sweep(
+        grouped(true),
+        CrashEventKind::Write,
+        StageFilter::Background,
+        false,
+        40,
+    );
+    assert!(
+        rounds >= 15,
+        "only {rounds} compressed-group background-write points"
+    );
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
 /// A swept crash must leave a device the full runtime can restart from, not
 /// just one `recover_device` can read: recover with `DudeTm::recover_stm`,
 /// check the prefix invariant through the runtime's own heap view, and keep
