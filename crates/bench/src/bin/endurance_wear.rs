@@ -56,6 +56,7 @@ fn main() {
             durability: env.durability,
             persist_threads: 1,
             persist_group: group,
+            persist_flush_workers: 1,
             compress_groups: group > 1,
             checkpoint_every: 64,
             reproduce_threads: 1,

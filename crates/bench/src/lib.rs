@@ -34,6 +34,23 @@ pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Returns the section number given with `--section <n>`, if any.
+/// Multi-section binaries (the ablations) run only that section when set —
+/// CI uses it to smoke-test a new section without paying for the rest.
+pub fn section_flag() -> Option<u32> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--section" {
+            return Some(
+                args.next()
+                    .and_then(|n| n.parse().ok())
+                    .expect("--section takes a number"),
+            );
+        }
+    }
+    None
+}
+
 /// Returns the path given with `--trace-out <path>`, if any. Binaries that
 /// support it enable the observability layer and write the final traced
 /// run's chrome://tracing-compatible JSON there.

@@ -96,6 +96,7 @@ fn dude_config(env: &BenchEnv, durability: DurabilityMode) -> DudeTmConfig {
         durability,
         persist_threads: 1,
         persist_group: env.persist_group,
+        persist_flush_workers: 1,
         compress_groups: env.compress,
         checkpoint_every: 64,
         reproduce_threads: 1,

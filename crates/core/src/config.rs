@@ -61,10 +61,21 @@ pub enum ConfigError {
     CompressionWithoutGrouping,
     /// `persist_group > 1` combined with [`DurabilityMode::Sync`].
     GroupingWithSync,
-    /// `persist_group > 1` combined with `persist_threads > 1`.
-    GroupingWithMultiplePersistThreads {
-        /// The rejected `persist_threads` value.
-        persist_threads: usize,
+    /// `persist_flush_workers` is zero.
+    NoFlushWorkers,
+    /// `persist_flush_workers` exceeds `max_threads` (each flush worker
+    /// owns one of the `max_threads` preallocated log rings).
+    FlushWorkersExceedMaxThreads {
+        /// The rejected `persist_flush_workers` value.
+        persist_flush_workers: usize,
+        /// The ring-count limit it exceeded.
+        max_threads: usize,
+    },
+    /// `persist_flush_workers > 1` with `persist_group == 1` — a silent
+    /// no-op, since parallel flushing applies to the grouped path only.
+    FlushWorkersWithoutGrouping {
+        /// The rejected `persist_flush_workers` value.
+        persist_flush_workers: usize,
     },
     /// [`DurabilityMode::Async`] with a zero-capacity buffer.
     EmptyAsyncBuffer,
@@ -102,10 +113,24 @@ impl core::fmt::Display for ConfigError {
             ConfigError::GroupingWithSync => {
                 f.write_str("log combination requires the asynchronous pipeline (§3.3)")
             }
-            ConfigError::GroupingWithMultiplePersistThreads { persist_threads } => write!(
+            ConfigError::NoFlushWorkers => f.write_str("persist_flush_workers must be at least 1"),
+            ConfigError::FlushWorkersExceedMaxThreads {
+                persist_flush_workers,
+                max_threads,
+            } => write!(
                 f,
-                "log combination (persist_group > 1) runs on a single persist \
-                 thread; persist_threads must be 1, got {persist_threads}"
+                "persist_flush_workers must not exceed max_threads: each flush \
+                 worker owns one of the {max_threads} preallocated log rings, \
+                 got {persist_flush_workers}"
+            ),
+            ConfigError::FlushWorkersWithoutGrouping {
+                persist_flush_workers,
+            } => write!(
+                f,
+                "persist_flush_workers ({persist_flush_workers}) has no effect \
+                 without log combination: parallel flush workers split the \
+                 grouped Persist stage (§3.3), so persist_group must be > 1 \
+                 when persist_flush_workers is (got persist_group = 1)"
             ),
             ConfigError::EmptyAsyncBuffer => {
                 f.write_str("DurabilityMode::Async requires buffer_txns >= 1")
@@ -127,13 +152,24 @@ pub struct DudeTmConfig {
     pub max_threads: usize,
     /// Durability variant.
     pub durability: DurabilityMode,
-    /// Number of dedicated Persist threads (asynchronous modes). The paper
-    /// finds one is typically enough (§3.3).
+    /// Number of dedicated Persist threads (asynchronous modes, ungrouped
+    /// path only). The paper finds one is typically enough (§3.3). With
+    /// `persist_group > 1` the grouped path runs instead — one sequencer
+    /// plus [`DudeTmConfig::persist_flush_workers`] flush workers — and
+    /// this knob is not used.
     pub persist_threads: usize,
     /// Cross-transaction log combination: group this many *consecutive*
     /// transactions and coalesce writes to the same address before flushing
     /// (§3.3). `1` disables grouping.
     pub persist_group: usize,
+    /// Number of parallel flush workers in the grouped Persist stage
+    /// (`persist_group > 1`). The sequencer assembles groups of consecutive
+    /// transactions and fans them out round-robin; workers serialize,
+    /// optionally compress, write, and fence out of order, while durability
+    /// is *published* strictly in order. Each worker owns one of the
+    /// `max_threads` preallocated log rings, so the value is capped by
+    /// `max_threads`. `1` reproduces the serial grouped worker.
+    pub persist_flush_workers: usize,
     /// Compress grouped logs with the LZ77 codec before flushing (§3.3).
     /// Only applies when `persist_group > 1`.
     pub compress_groups: bool,
@@ -166,6 +202,7 @@ impl DudeTmConfig {
             durability: DurabilityMode::Async { buffer_txns: 1024 },
             persist_threads: 1,
             persist_group: 1,
+            persist_flush_workers: 1,
             compress_groups: false,
             checkpoint_every: 16,
             reproduce_threads: 1,
@@ -201,6 +238,14 @@ impl DudeTmConfig {
     pub fn with_grouping(mut self, group: usize, compress: bool) -> Self {
         self.persist_group = group;
         self.compress_groups = compress;
+        self
+    }
+
+    /// Sets the number of parallel flush workers for the grouped Persist
+    /// stage (requires `persist_group > 1` when above 1).
+    #[must_use]
+    pub fn with_flush_workers(mut self, workers: usize) -> Self {
+        self.persist_flush_workers = workers;
         self
     }
 
@@ -258,18 +303,29 @@ impl DudeTmConfig {
         if self.compress_groups && self.persist_group == 1 {
             return Err(ConfigError::CompressionWithoutGrouping);
         }
-        if self.persist_group > 1 {
-            if matches!(self.durability, DurabilityMode::Sync) {
-                return Err(ConfigError::GroupingWithSync);
-            }
-            // Grouping merges every thread's records into global ID order
-            // on one thread; extra persist threads would silently never be
-            // spawned, so reject the combination instead of ignoring it.
-            if self.persist_threads != 1 {
-                return Err(ConfigError::GroupingWithMultiplePersistThreads {
-                    persist_threads: self.persist_threads,
-                });
-            }
+        if self.persist_group > 1 && matches!(self.durability, DurabilityMode::Sync) {
+            return Err(ConfigError::GroupingWithSync);
+        }
+        if self.persist_flush_workers == 0 {
+            return Err(ConfigError::NoFlushWorkers);
+        }
+        // Each flush worker appends to its own preallocated log ring (so
+        // per-ring span release stays in append order); there are exactly
+        // `max_threads` rings.
+        if self.persist_flush_workers > self.max_threads {
+            return Err(ConfigError::FlushWorkersExceedMaxThreads {
+                persist_flush_workers: self.persist_flush_workers,
+                max_threads: self.max_threads,
+            });
+        }
+        // Parallel flushing is a property of the grouped path (the
+        // sequencer/worker split); with persist_group == 1 the ungrouped
+        // path runs and the knob would be silently ignored — reject the
+        // no-op combination, mirroring compress_groups above.
+        if self.persist_flush_workers > 1 && self.persist_group == 1 {
+            return Err(ConfigError::FlushWorkersWithoutGrouping {
+                persist_flush_workers: self.persist_flush_workers,
+            });
         }
         if matches!(self.durability, DurabilityMode::Async { buffer_txns: 0 }) {
             return Err(ConfigError::EmptyAsyncBuffer);
@@ -320,11 +376,49 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "persist_threads must be 1")]
-    fn grouping_with_multiple_persist_threads_rejected() {
+    fn grouping_with_multiple_persist_threads_is_allowed() {
+        // The grouped path ignores persist_threads (the sequencer/flush-
+        // worker split owns its parallelism); the combination is no longer
+        // a hard error.
         let mut c = DudeTmConfig::small(1 << 20).with_grouping(8, false);
         c.persist_threads = 2;
         c.validate();
+    }
+
+    #[test]
+    fn flush_workers_builder_composes() {
+        let c = DudeTmConfig::small(1 << 20)
+            .with_grouping(8, true)
+            .with_flush_workers(4);
+        assert_eq!(c.persist_flush_workers, 4);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "persist_flush_workers must be at least 1")]
+    fn zero_flush_workers_rejected() {
+        DudeTmConfig::small(1 << 20)
+            .with_flush_workers(0)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed max_threads")]
+    fn flush_workers_beyond_ring_count_rejected() {
+        let mut c = DudeTmConfig::small(1 << 20).with_grouping(8, false);
+        c.max_threads = 2;
+        c.persist_flush_workers = 3;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "has no effect without log combination")]
+    fn flush_workers_without_grouping_rejected() {
+        // persist_group stays 1: the ungrouped path would silently ignore
+        // the knob.
+        DudeTmConfig::small(1 << 20)
+            .with_flush_workers(2)
+            .validate();
     }
 
     #[test]
@@ -395,10 +489,26 @@ mod tests {
         assert_eq!(c.try_validate(), Err(ConfigError::GroupingWithSync));
 
         let mut c = DudeTmConfig::small(1 << 20).with_grouping(8, false);
-        c.persist_threads = 2;
+        c.persist_flush_workers = 0;
+        assert_eq!(c.try_validate(), Err(ConfigError::NoFlushWorkers));
+
+        let mut c = DudeTmConfig::small(1 << 20).with_grouping(8, false);
+        c.max_threads = 4;
+        c.persist_flush_workers = 5;
         assert_eq!(
             c.try_validate(),
-            Err(ConfigError::GroupingWithMultiplePersistThreads { persist_threads: 2 })
+            Err(ConfigError::FlushWorkersExceedMaxThreads {
+                persist_flush_workers: 5,
+                max_threads: 4,
+            })
+        );
+
+        let c = DudeTmConfig::small(1 << 20).with_flush_workers(2);
+        assert_eq!(
+            c.try_validate(),
+            Err(ConfigError::FlushWorkersWithoutGrouping {
+                persist_flush_workers: 2,
+            })
         );
 
         let mut c = DudeTmConfig::small(1 << 20);

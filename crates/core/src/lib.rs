@@ -73,7 +73,7 @@ pub use log::{LogRecord, ParsedRecord};
 pub use plog::{scan_region, PlogRing, PlogSpan};
 pub use recovery::{recover_device, RecoverError, RecoveryReport};
 pub use runtime::{dtm_abort, DtmThread, DtmTx, DudeTm, NvmLayout, RedoHooks};
-pub use seqtrack::SequenceTracker;
+pub use seqtrack::{OrderedCompletions, SequenceTracker};
 pub use shadow::{PagingMode, ShadowConfig, ShadowMem, ShadowStats, ShadowView, PAGE_BYTES};
 pub use stats::{PipelineSnapshot, PipelineStats, PipelineStatsSnapshot};
 pub use trace::{

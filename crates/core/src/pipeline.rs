@@ -20,11 +20,18 @@
 //! the minimum completed TID across shards, never a single worker's
 //! progress.
 //!
-//! With `persist_group > 1`, a single Persist thread merges all threads'
-//! records into global ID order and applies *cross-transaction log
-//! combination* (and optionally compression) to each group of consecutive
-//! transactions before flushing — the Figure 3 optimizations, which are
-//! only safe because grouping happens on globally consecutive IDs.
+//! With `persist_group > 1`, the Persist stage splits into a *sequencer*
+//! and `persist_flush_workers` *flush workers*. The sequencer merges all
+//! threads' records into dense global ID order and seals groups of
+//! consecutive transactions — the precondition that keeps
+//! *cross-transaction log combination* (and compression) safe (§3.3,
+//! Figure 3). Sealed groups fan out round-robin to the flush workers,
+//! which combine, serialize, optionally compress, write to their own log
+//! ring, and fence **in parallel and out of order**. Durability is then
+//! *published* strictly in order by [`GroupPublisher`]: the durable-ID
+//! watermark advances and `Batch`es reach Reproduce only once a contiguous
+//! prefix of groups is durable, so recovery's contiguous-run invariant and
+//! `wait_durable` semantics are identical to the serial grouped worker's.
 
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::Ordering;
@@ -34,9 +41,10 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::frontier::split_writes;
-use crate::log::{combine, serialize_abort, serialize_commit, serialize_group, LogRecord};
+use crate::log::{combine_sorted, serialize_abort, serialize_commit, serialize_group, LogRecord};
 use crate::plog::PlogSpan;
 use crate::runtime::Shared;
+use crate::seqtrack::OrderedCompletions;
 use crate::trace::{Stage, TraceEventKind};
 
 /// A persisted unit handed from Persist to Reproduce.
@@ -209,92 +217,116 @@ pub(crate) fn persist_worker(
     }
 }
 
-/// The grouping Persist worker: merges all channels into global
-/// transaction-ID order and persists groups of `group` consecutive
-/// transactions with combination (and optional compression).
-pub(crate) fn persist_worker_grouped(
+/// One sealed group of consecutive-TID records, handed from the sequencer
+/// to a flush worker. `seq` is the dense group sequence number (`0, 1, 2,
+/// …` per runtime instance) the in-order publisher keys on.
+#[derive(Debug)]
+pub(crate) struct GroupWork {
+    pub seq: u64,
+    pub records: Vec<LogRecord>,
+}
+
+/// In-order durable publication for the parallel grouped Persist stage.
+///
+/// Flush workers finish groups out of order, but two consumers require
+/// order: the durable-ID watermark must advance over a contiguous TID
+/// prefix (a `wait_durable(t)` that returns early on a holey prefix would
+/// break durable linearizability), and recovery's contiguous-run replay
+/// assumes no batch reaches Reproduce — and therefore no log span is ever
+/// recycled — ahead of a gap. `publish` funnels every completed group
+/// through an [`OrderedCompletions`] reorderer whose emission callback
+/// (mark the tracker, forward the batch) runs under the reorderer's lock,
+/// so publication is totally ordered across workers.
+#[derive(Debug)]
+pub(crate) struct GroupPublisher {
+    shared: Arc<Shared>,
+    out: Sender<Batch>,
+    completions: OrderedCompletions<Batch>,
+}
+
+impl GroupPublisher {
+    /// Creates a publisher emitting from group sequence number 0.
+    pub(crate) fn new(shared: Arc<Shared>, out: Sender<Batch>) -> Self {
+        GroupPublisher {
+            shared,
+            out,
+            completions: OrderedCompletions::starting_at(0),
+        }
+    }
+
+    /// Publishes group `seq`: parked until all earlier groups are durable,
+    /// then — in sequence order — marks its TID range in the durable-ID
+    /// tracker and forwards the batch to Reproduce.
+    fn publish(&self, seq: u64, batch: Batch) {
+        self.completions.complete(seq, batch, |_, b| {
+            self.shared.tracker.mark_range(b.first_tid, b.last_tid);
+            self.shared.trace.event(
+                Stage::Persist,
+                TraceEventKind::DurablePublish,
+                b.last_tid,
+                8 * b.writes.len() as u64,
+                0,
+            );
+            // Reproduce may have exited during shutdown teardown; the
+            // group is durable regardless.
+            let _ = self.out.send(b);
+        });
+    }
+}
+
+/// The grouped-Persist sequencer: merges all per-thread channels into
+/// dense global transaction-ID order, seals groups of `group` consecutive
+/// transactions, and fans them out round-robin to the flush workers.
+///
+/// The sequencer never touches NVM, so it can never park on a full ring;
+/// the hold timer below therefore always re-arms on time and a partial
+/// group is dispatched at most once per quiet period (the serial worker
+/// conflated sequencing with flushing, and a full ring could pin its timer
+/// in the expired state). Round-robin assignment is load-bearing for span
+/// recycling: worker `w` receives group sequences `w, w + N, …` and
+/// appends them to *its own* ring in that order, so each ring's append
+/// order equals dense TID order — exactly the order Reproduce releases
+/// spans in ([`crate::plog::PlogRing::release`] panics otherwise).
+pub(crate) fn persist_sequencer(
     shared: Arc<Shared>,
     inputs: Vec<(usize, Receiver<LogRecord>)>,
-    out: Sender<Batch>,
+    worker_txs: Vec<Sender<GroupWork>>,
     group: usize,
-    compress: bool,
 ) {
     dude_nvm::set_background_stage(true);
+    let workers = worker_txs.len();
     let mut heap: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
     let mut stash: std::collections::HashMap<u64, LogRecord> = std::collections::HashMap::new();
     let mut done = vec![false; inputs.len()];
     let mut expected = shared.tracker.watermark() + 1;
     let mut current: Vec<LogRecord> = Vec::new();
-    let mut buf = Vec::new();
+    let mut next_seq = 0u64;
     let mut last_flush = Instant::now();
-    // Flush a partial group after this much quiet time (latency bound).
+    // Dispatch a partial group after this much quiet time (latency bound).
     let max_hold = Duration::from_millis(2);
 
-    let flush =
-        |current: &mut Vec<LogRecord>, buf: &mut Vec<u64>, out: &Sender<Batch>, shared: &Shared| {
-            if current.is_empty() {
-                return;
-            }
-            let first = current.first().expect("non-empty group").tid();
-            let last = current.last().expect("non-empty group").tid();
-            let before: usize = current.iter().map(|r| r.writes().len()).sum();
-            let mut combined = combine(current);
-            // Sort by address: replay gets sequential locality and the
-            // compressor sees runs of shared high address bytes.
-            combined.sort_unstable_by_key(|&(a, _)| a);
-            let (raw, stored) = serialize_group(first, last, &combined, compress, buf);
-            let span = if shared.trace.enabled() {
-                // `append` = write + flush + fence: the whole group-persist
-                // barrier, timed as one event.
-                let t0 = dude_nvm::monotonic_ns();
-                let span = shared.rings[0].append(buf);
-                let dur = dude_nvm::monotonic_ns().saturating_sub(t0);
-                shared.trace.persist_barrier_ns.record(dur);
-                shared.trace.group_flush_bytes.record(stored as u64);
-                shared.trace.event(
-                    Stage::Persist,
-                    TraceEventKind::GroupFlush,
-                    last,
-                    stored as u64,
-                    dur,
-                );
-                span
-            } else {
-                shared.rings[0].append(buf)
-            };
-            shared
-                .stats
-                .entries_logged
-                .fetch_add(before as u64, Ordering::Relaxed);
-            shared
-                .stats
-                .entries_before_combine
-                .fetch_add(before as u64, Ordering::Relaxed);
-            shared
-                .stats
-                .entries_after_combine
-                .fetch_add(combined.len() as u64, Ordering::Relaxed);
-            shared
-                .stats
-                .group_bytes_raw
-                .fetch_add(raw as u64, Ordering::Relaxed);
-            shared
-                .stats
-                .group_bytes_stored
-                .fetch_add(stored as u64, Ordering::Relaxed);
-            shared
-                .stats
-                .groups_persisted
-                .fetch_add(1, Ordering::Relaxed);
-            shared.tracker.mark_range(first, last);
-            let _ = out.send(Batch {
-                first_tid: first,
-                last_tid: last,
-                writes: combined,
-                spans: vec![(0, span)],
-            });
-            current.clear();
-        };
+    let dispatch = |current: &mut Vec<LogRecord>, next_seq: &mut u64| {
+        if current.is_empty() {
+            return;
+        }
+        let records = std::mem::take(current);
+        let seq = *next_seq;
+        *next_seq += 1;
+        if shared.trace.enabled() {
+            let entries: u64 = records.iter().map(|r| r.writes().len() as u64).sum();
+            let last = records.last().expect("non-empty group").tid();
+            shared.trace.event(
+                Stage::Persist,
+                TraceEventKind::GroupDispatch,
+                last,
+                8 * entries,
+                0,
+            );
+        }
+        // A worker only exits after draining its channel, so a send can
+        // fail only during teardown-after-panic.
+        let _ = worker_txs[(seq % workers as u64) as usize].send(GroupWork { seq, records });
+    };
 
     loop {
         let mut progress = false;
@@ -327,7 +359,7 @@ pub(crate) fn persist_worker_grouped(
             let rec = stash.remove(&expected).expect("stashed record");
             // `last_flush` is really "when the current group started": a
             // stale value from an idle period would make the hold timer
-            // expire immediately and flush a group of one, so restart it
+            // expire immediately and dispatch a group of one, so restart it
             // when the group goes empty → non-empty.
             if current.is_empty() {
                 last_flush = Instant::now();
@@ -335,17 +367,20 @@ pub(crate) fn persist_worker_grouped(
             current.push(rec);
             expected += 1;
             if current.len() >= group {
-                flush(&mut current, &mut buf, &out, &shared);
+                dispatch(&mut current, &mut next_seq);
                 last_flush = Instant::now();
             }
         }
         let all_done = done.iter().all(|&d| d);
         if all_done && heap.is_empty() {
-            flush(&mut current, &mut buf, &out, &shared);
+            dispatch(&mut current, &mut next_seq);
+            // Returning drops `worker_txs`: the flush workers drain their
+            // queues and exit, and the publisher's last `Batch` sender goes
+            // with them.
             return;
         }
         if !current.is_empty() && last_flush.elapsed() > max_hold {
-            flush(&mut current, &mut buf, &out, &shared);
+            dispatch(&mut current, &mut next_seq);
             last_flush = Instant::now();
         }
         if !progress {
@@ -359,8 +394,114 @@ pub(crate) fn persist_worker_grouped(
                     stash.len()
                 );
             }
+            // Idle with records stashed beyond a TID gap: the sequencer is
+            // waiting on one slow Perform thread — the grouped pipeline's
+            // head-of-line stall, counted per tick like the others.
+            if shared.trace.enabled() && !stash.is_empty() {
+                shared
+                    .trace
+                    .stalls
+                    .persist_seq_wait
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             std::thread::sleep(Duration::from_micros(50));
         }
+    }
+}
+
+/// A grouped-Persist flush worker: combines, serializes, optionally
+/// compresses, writes, and fences each group it receives — out of order
+/// with respect to its siblings — then hands the result to the in-order
+/// [`GroupPublisher`].
+///
+/// Worker `w` appends exclusively to `shared.rings[w]` (its channel
+/// delivers group sequences in increasing order, so the ring's append
+/// order is dense TID order; see [`persist_sequencer`]). A full ring
+/// parks the worker with a bounded sleep per probe — counted as a
+/// `persist_ring_full` stall — never a busy-spin: the space it waits for
+/// appears as soon as Reproduce's idle-tick checkpoint recycles the spans
+/// of already-published groups, which publication order guarantees are
+/// all ahead of this one.
+pub(crate) fn persist_flush_worker(
+    shared: Arc<Shared>,
+    worker: usize,
+    rx: Receiver<GroupWork>,
+    publisher: Arc<GroupPublisher>,
+    compress: bool,
+) {
+    dude_nvm::set_background_stage(true);
+    let mut buf = Vec::new();
+    let ring = &shared.rings[worker];
+    while let Ok(work) = rx.recv() {
+        let first = work.records.first().expect("non-empty group").tid();
+        let last = work.records.last().expect("non-empty group").tid();
+        let before: usize = work.records.iter().map(|r| r.writes().len()).sum();
+        let combined = combine_sorted(&work.records);
+        let (raw, stored) = serialize_group(first, last, &combined, compress, &mut buf);
+        let tracing = shared.trace.enabled();
+        // The whole group-persist barrier — write + flush + fence,
+        // including any wait for ring space — timed as one event.
+        let t0 = if tracing { dude_nvm::monotonic_ns() } else { 0 };
+        let span = loop {
+            if let Some(span) = ring.try_append_unfenced(&buf) {
+                break span;
+            }
+            if tracing {
+                shared
+                    .trace
+                    .stalls
+                    .persist_ring_full
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        };
+        shared.nvm.fence();
+        if tracing {
+            let dur = dude_nvm::monotonic_ns().saturating_sub(t0);
+            shared.trace.persist_barrier_ns.record(dur);
+            shared.trace.flush_worker_ns[worker].record(dur);
+            shared.trace.group_flush_bytes.record(stored as u64);
+            shared.trace.event(
+                Stage::Persist,
+                TraceEventKind::GroupFlush,
+                last,
+                stored as u64,
+                dur,
+            );
+        }
+        shared
+            .stats
+            .entries_logged
+            .fetch_add(before as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .entries_before_combine
+            .fetch_add(before as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .entries_after_combine
+            .fetch_add(combined.len() as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .group_bytes_raw
+            .fetch_add(raw as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .group_bytes_stored
+            .fetch_add(stored as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .groups_persisted
+            .fetch_add(1, Ordering::Relaxed);
+        publisher.publish(
+            work.seq,
+            Batch {
+                first_tid: first,
+                last_tid: last,
+                writes: combined,
+                spans: vec![(worker, span)],
+            },
+        );
     }
 }
 

@@ -15,8 +15,8 @@ use crate::engine::{EngineThread, TmEngine};
 use crate::frontier::ReproduceFrontier;
 use crate::log::{serialize_abort, serialize_commit, LogRecord};
 use crate::pipeline::{
-    persist_worker, persist_worker_grouped, reproduce_router, reproduce_shard_worker,
-    reproduce_worker, Batch, ShardWork,
+    persist_flush_worker, persist_sequencer, persist_worker, reproduce_router,
+    reproduce_shard_worker, reproduce_worker, Batch, GroupPublisher, GroupWork, ShardWork,
 };
 use crate::plog::PlogRing;
 use crate::seqtrack::SequenceTracker;
@@ -305,7 +305,11 @@ impl<E: TmEngine> DudeTm<E> {
             reproduced: Arc::clone(&reproduced),
             frontier: Arc::new(ReproduceFrontier::new(config.reproduce_threads, start_tid)),
             stats: PipelineStats::default(),
-            trace: Trace::new(config.trace, config.reproduce_threads),
+            trace: Trace::new(
+                config.trace,
+                config.reproduce_threads,
+                config.persist_flush_workers,
+            ),
         });
         let shadow = Arc::new(ShadowMem::new(
             config.shadow,
@@ -337,17 +341,36 @@ impl<E: TmEngine> DudeTm<E> {
                     receivers.push(rx);
                 }
                 if config.persist_group > 1 {
+                    // Sequencer + N flush workers + in-order publisher (see
+                    // `pipeline`). Each worker owns ring `w`; validation
+                    // capped persist_flush_workers at max_threads = #rings.
+                    let n = config.persist_flush_workers;
+                    let publisher =
+                        Arc::new(GroupPublisher::new(Arc::clone(&shared), batch_tx.clone()));
+                    let mut worker_txs = Vec::with_capacity(n);
+                    for w in 0..n {
+                        let (tx, rx) = unbounded::<GroupWork>();
+                        worker_txs.push(tx);
+                        let shared2 = Arc::clone(&shared);
+                        let publisher2 = Arc::clone(&publisher);
+                        let compress = config.compress_groups;
+                        workers.push(
+                            std::thread::Builder::new()
+                                .name(format!("dude-persist-flush-{w}"))
+                                .spawn(move || {
+                                    persist_flush_worker(shared2, w, rx, publisher2, compress)
+                                })
+                                .expect("spawn persist flush worker"),
+                        );
+                    }
                     let shared2 = Arc::clone(&shared);
-                    let out = batch_tx.clone();
                     let inputs = receivers.into_iter().enumerate().collect();
-                    let (group, compress) = (config.persist_group, config.compress_groups);
+                    let group = config.persist_group;
                     workers.push(
                         std::thread::Builder::new()
-                            .name("dude-persist-group".into())
-                            .spawn(move || {
-                                persist_worker_grouped(shared2, inputs, out, group, compress)
-                            })
-                            .expect("spawn persist worker"),
+                            .name("dude-persist-seq".into())
+                            .spawn(move || persist_sequencer(shared2, inputs, worker_txs, group))
+                            .expect("spawn persist sequencer"),
                     );
                 } else {
                     // Partition the per-thread channels across persist

@@ -201,9 +201,10 @@ impl PipelineSnapshot {
             ));
         }
         line.push_str(&format!(
-            " stalls[log-full={} ring-full={} starved={} ckpt-wait={}]",
+            " stalls[log-full={} ring-full={} seq-wait={} starved={} ckpt-wait={}]",
             self.stalls.perform_log_full,
             self.stalls.persist_ring_full,
+            self.stalls.persist_seq_wait,
             self.stalls.reproduce_starved,
             self.stalls.checkpoint_wait,
         ));
@@ -281,11 +282,12 @@ mod tests {
     }
 
     #[test]
-    fn summary_always_prints_all_four_stall_counters() {
+    fn summary_always_prints_all_five_stall_counters() {
         let snap = PipelineSnapshot {
             stalls: StallSnapshot {
                 perform_log_full: 3,
                 persist_ring_full: 1,
+                persist_seq_wait: 4,
                 reproduce_starved: 7,
                 checkpoint_wait: 2,
             },
@@ -294,6 +296,7 @@ mod tests {
         let line = snap.summary();
         assert!(line.contains("log-full=3"), "{line}");
         assert!(line.contains("ring-full=1"), "{line}");
+        assert!(line.contains("seq-wait=4"), "{line}");
         assert!(line.contains("starved=7"), "{line}");
         assert!(line.contains("ckpt-wait=2"), "{line}");
         // Zero stalls still print (so readers can see nothing stalled).

@@ -11,10 +11,10 @@
 //!   histograms for commit latency, persist-barrier duration, group-flush
 //!   size, and per-shard replay-apply time. Fixed 64-bucket layout, no
 //!   allocation on the record path, percentiles without storing samples.
-//! * [`StallCounters`] — named counters for the four ways a stage can
+//! * [`StallCounters`] — named counters for the five ways a stage can
 //!   block: Perform on a full volatile log, Persist on a full persistent
-//!   ring, Reproduce starved of input, and the shutdown checkpoint waiting
-//!   on the slowest shard.
+//!   ring, the grouped-Persist sequencer on a TID gap, Reproduce starved
+//!   of input, and the shutdown checkpoint waiting on the slowest shard.
 //! * [`TraceRing`] — a fixed-size, lock-free ring of
 //!   `{timestamp, stage, event, tid, bytes, duration}` records stamped
 //!   with the process-wide [`dude_nvm::monotonic_ns`] clock, exported as
@@ -127,6 +127,12 @@ pub enum TraceEventKind {
     ReplayApply = 3,
     /// A durable reproduced-ID checkpoint.
     CheckpointWrite = 4,
+    /// The Persist sequencer sealed a group and dispatched it to a flush
+    /// worker (grouped mode; `bytes` = 8 × the group's log entries).
+    GroupDispatch = 5,
+    /// The in-order publisher advanced the durable watermark over a flushed
+    /// group and forwarded its batch to Reproduce (grouped mode).
+    DurablePublish = 6,
 }
 
 impl TraceEventKind {
@@ -139,6 +145,8 @@ impl TraceEventKind {
             TraceEventKind::GroupFlush => "group_flush",
             TraceEventKind::ReplayApply => "replay_apply",
             TraceEventKind::CheckpointWrite => "checkpoint",
+            TraceEventKind::GroupDispatch => "group_dispatch",
+            TraceEventKind::DurablePublish => "durable_publish",
         }
     }
 
@@ -148,6 +156,8 @@ impl TraceEventKind {
             1 => TraceEventKind::PersistBarrier,
             2 => TraceEventKind::GroupFlush,
             3 => TraceEventKind::ReplayApply,
+            5 => TraceEventKind::GroupDispatch,
+            6 => TraceEventKind::DurablePublish,
             _ => TraceEventKind::CheckpointWrite,
         }
     }
@@ -408,7 +418,7 @@ impl HistogramSnapshot {
     }
 }
 
-/// The four ways a pipeline stage blocks, counted by name. Incremented
+/// The five ways a pipeline stage blocks, counted by name. Incremented
 /// only when tracing is enabled (one branch otherwise), surfaced through
 /// [`crate::PipelineSnapshot`].
 #[derive(Debug, Default)]
@@ -420,6 +430,10 @@ pub struct StallCounters {
     /// A Persist worker found a persistent log ring without space and
     /// parked the record (Reproduce has not recycled fast enough).
     pub persist_ring_full: AtomicU64,
+    /// The grouped-Persist sequencer idled with records stashed out of
+    /// order: the next expected TID has not arrived, so no group can be
+    /// sealed (a Perform thread is slow to hand over its log).
+    pub persist_seq_wait: AtomicU64,
     /// A Reproduce worker's input timed out with an empty reorder heap —
     /// replay is ahead of the Persist stage and idling.
     pub reproduce_starved: AtomicU64,
@@ -435,6 +449,7 @@ impl StallCounters {
         StallSnapshot {
             perform_log_full: self.perform_log_full.load(Ordering::Relaxed),
             persist_ring_full: self.persist_ring_full.load(Ordering::Relaxed),
+            persist_seq_wait: self.persist_seq_wait.load(Ordering::Relaxed),
             reproduce_starved: self.reproduce_starved.load(Ordering::Relaxed),
             checkpoint_wait: self.checkpoint_wait.load(Ordering::Relaxed),
         }
@@ -449,6 +464,8 @@ pub struct StallSnapshot {
     pub perform_log_full: u64,
     /// Records parked because a persistent log ring was full.
     pub persist_ring_full: u64,
+    /// Sequencer idle ticks blocked on a TID gap (grouped mode).
+    pub persist_seq_wait: u64,
     /// Reproduce idle ticks with nothing to replay.
     pub reproduce_starved: u64,
     /// Drain-checkpoint waits on the slowest shard.
@@ -474,14 +491,19 @@ pub struct Trace {
     /// Per-shard wall time applying one replay run to the heap image
     /// (index = shard; one entry in serial mode).
     pub replay_apply_ns: Vec<LatencyHistogram>,
+    /// Per-flush-worker wall time persisting one group — serialize,
+    /// optional compression, ring write, and fence, including any wait for
+    /// ring space (index = worker; one entry outside grouped mode).
+    pub flush_worker_ns: Vec<LatencyHistogram>,
     /// Stall counters (see [`StallCounters`]).
     pub stalls: StallCounters,
 }
 
 impl Trace {
-    /// Creates the layer for `shards` Reproduce workers.
+    /// Creates the layer for `shards` Reproduce workers and
+    /// `flush_workers` grouped-Persist flush workers.
     #[must_use]
-    pub fn new(config: TraceConfig, shards: usize) -> Self {
+    pub fn new(config: TraceConfig, shards: usize, flush_workers: usize) -> Self {
         if config.enabled {
             // Pin the shared epoch now so event timestamps start near 0.
             let _ = dude_nvm::monotonic_ns();
@@ -497,6 +519,9 @@ impl Trace {
             persist_barrier_ns: LatencyHistogram::new(),
             group_flush_bytes: LatencyHistogram::new(),
             replay_apply_ns: (0..shards.max(1))
+                .map(|_| LatencyHistogram::new())
+                .collect(),
+            flush_worker_ns: (0..flush_workers.max(1))
                 .map(|_| LatencyHistogram::new())
                 .collect(),
             stalls: StallCounters::default(),
@@ -587,9 +612,11 @@ impl Trace {
         let stalls = self.stalls.snapshot();
         out.push_str(&format!(
             "  \"stalls\": {{\"perform_log_full\": {}, \"persist_ring_full\": {}, \
-             \"reproduce_starved\": {}, \"checkpoint_wait\": {}}},\n",
+             \"persist_seq_wait\": {}, \"reproduce_starved\": {}, \
+             \"checkpoint_wait\": {}}},\n",
             stalls.perform_log_full,
             stalls.persist_ring_full,
+            stalls.persist_seq_wait,
             stalls.reproduce_starved,
             stalls.checkpoint_wait
         ));
@@ -625,10 +652,13 @@ impl Trace {
             false,
         );
         for (i, h) in self.replay_apply_ns.iter().enumerate() {
+            hist(&format!("replay_apply_ns_shard{i}"), &h.snapshot(), false);
+        }
+        for (i, h) in self.flush_worker_ns.iter().enumerate() {
             hist(
-                &format!("replay_apply_ns_shard{i}"),
+                &format!("flush_worker_ns_w{i}"),
                 &h.snapshot(),
-                i + 1 == self.replay_apply_ns.len(),
+                i + 1 == self.flush_worker_ns.len(),
             );
         }
         out.push_str("  }\n}\n");
@@ -706,7 +736,7 @@ mod tests {
 
     #[test]
     fn disabled_trace_records_nothing() {
-        let t = Trace::new(TraceConfig::disabled(), 1);
+        let t = Trace::new(TraceConfig::disabled(), 1, 1);
         t.event(Stage::Perform, TraceEventKind::Commit, 1, 8, 100);
         assert_eq!(t.ring().recorded(), 0);
         assert!(!t.enabled());
@@ -714,18 +744,25 @@ mod tests {
 
     #[test]
     fn json_is_chrome_shaped() {
-        let t = Trace::new(TraceConfig::enabled(16), 2);
+        let t = Trace::new(TraceConfig::enabled(16), 2, 2);
         t.event(Stage::Perform, TraceEventKind::Commit, 7, 16, 120);
         t.event(Stage::Persist, TraceEventKind::PersistBarrier, 7, 64, 0);
+        t.event(Stage::Persist, TraceEventKind::GroupDispatch, 8, 32, 0);
+        t.event(Stage::Persist, TraceEventKind::DurablePublish, 8, 32, 0);
         t.commit_latency_ns.record(120);
         t.stalls.perform_log_full.fetch_add(1, Ordering::Relaxed);
+        t.stalls.persist_seq_wait.fetch_add(2, Ordering::Relaxed);
         let json = t.to_json();
         assert!(json.contains("\"traceEvents\""), "{json}");
         assert!(json.contains("\"commit\""), "{json}");
         assert!(json.contains("\"persist_barrier\""), "{json}");
+        assert!(json.contains("\"group_dispatch\""), "{json}");
+        assert!(json.contains("\"durable_publish\""), "{json}");
         assert!(json.contains("\"perform_log_full\": 1"), "{json}");
+        assert!(json.contains("\"persist_seq_wait\": 2"), "{json}");
         assert!(json.contains("\"commit_latency_ns\""), "{json}");
         assert!(json.contains("replay_apply_ns_shard1"), "{json}");
+        assert!(json.contains("flush_worker_ns_w1"), "{json}");
         // Balanced braces — structurally valid without a JSON parser.
         assert_eq!(
             json.matches('{').count(),

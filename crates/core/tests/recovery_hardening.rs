@@ -95,6 +95,44 @@ fn group_straddling_checkpoint_replays_idempotently() {
     assert_eq!(nvm.read_word(layout.heap.start() + 8), 40);
 }
 
+/// Parallel flush workers round-robin consecutive groups across one ring
+/// per worker and fence them out of order, so a crash can leave the dense
+/// group sequence with a hole: a worker's flush never completed while a
+/// *later* group on another ring is already durable. Recovery must stitch
+/// the cross-ring sequence back into dense TID order, cut it at the gap,
+/// and discard the durable group beyond it whole.
+#[test]
+fn round_robin_groups_across_rings_recover_to_contiguous_prefix() {
+    let nvm = test_nvm();
+    let config = DudeTmConfig {
+        max_threads: 4,
+        ..tiny_config()
+    };
+    let layout = formatted(&nvm, config);
+    let mut buf = Vec::new();
+    // Worker w owns ring w; group seq s lands on ring s % 4. Groups of 3:
+    // seq 0 → ring 0 (tids 1..=3), seq 1 → ring 1 (4..=6), seq 2 → ring 2
+    // (7..=9, flush never completed), seq 3 → ring 3 (10..=12, durable).
+    log::serialize_group(1, 3, &[(0, 3)], false, &mut buf);
+    plant_record(&nvm, &layout, 0, &buf);
+    log::serialize_group(4, 6, &[(0, 6), (8, 6)], true, &mut buf);
+    plant_record(&nvm, &layout, 1, &buf);
+    log::serialize_group(10, 12, &[(0, 12), (16, 12)], false, &mut buf);
+    plant_record(&nvm, &layout, 3, &buf);
+
+    let (_, report) = recover_device(&nvm, &config).expect("recover");
+    assert_eq!(report.last_tid, 6, "prefix must end at the seq-2 gap");
+    assert_eq!(report.replayed, 6);
+    assert_eq!(report.discarded, 3, "beyond-gap group discarded as 3 txns");
+    assert_eq!(nvm.read_word(layout.heap.start()), 6);
+    assert_eq!(nvm.read_word(layout.heap.start() + 8), 6);
+    assert_eq!(
+        nvm.read_word(layout.heap.start() + 16),
+        0,
+        "write from beyond the gap applied"
+    );
+}
+
 #[test]
 #[should_panic(expected = "ambiguous log")]
 fn two_straddling_records_are_rejected() {

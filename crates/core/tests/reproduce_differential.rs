@@ -38,6 +38,21 @@ fn config(reproduce_threads: usize) -> DudeTmConfig {
     .with_reproduce_threads(reproduce_threads)
 }
 
+/// Grouped-Persist config: groups of 8, `flush_workers` parallel flush
+/// workers (1 = the serial grouped reference), each owning one of the
+/// `max_threads` log rings.
+fn grouped_config(flush_workers: usize, compress: bool) -> DudeTmConfig {
+    DudeTmConfig {
+        max_threads: 4,
+        plog_bytes_per_thread: 4096,
+        checkpoint_every: 4,
+        ..DudeTmConfig::small(HEAP_BYTES)
+    }
+    .with_durability(DurabilityMode::Async { buffer_txns: 64 })
+    .with_grouping(8, compress)
+    .with_flush_workers(flush_workers)
+}
+
 fn lcg(x: &mut u64) -> u64 {
     *x = x
         .wrapping_mul(6364136223846793005)
@@ -45,11 +60,11 @@ fn lcg(x: &mut u64) -> u64 {
     *x >> 11
 }
 
-/// Runs `workload` to a clean shutdown under the given Reproduce config
-/// and returns the drained persistent heap image.
-fn heap_image(reproduce_threads: usize, seed: u64, workload: fn(&mut Runner, u64)) -> Vec<u64> {
+/// Runs `workload` to a clean shutdown under `cfg` and returns the
+/// drained persistent heap image.
+fn heap_image_cfg(cfg: DudeTmConfig, seed: u64, workload: fn(&mut Runner, u64)) -> Vec<u64> {
     let nvm = Arc::new(Nvm::new(NvmConfig::for_testing(1 << 18)));
-    let dude = DudeTm::create_stm(Arc::clone(&nvm), config(reproduce_threads));
+    let dude = DudeTm::create_stm(Arc::clone(&nvm), cfg);
     let heap = dude.heap_region();
     {
         let mut t = dude.register_thread();
@@ -60,6 +75,12 @@ fn heap_image(reproduce_threads: usize, seed: u64, workload: fn(&mut Runner, u64
     (0..HEAP_WORDS)
         .map(|w| nvm.read_word(heap.start() + w * 8))
         .collect()
+}
+
+/// Runs `workload` to a clean shutdown under the given Reproduce config
+/// and returns the drained persistent heap image.
+fn heap_image(reproduce_threads: usize, seed: u64, workload: fn(&mut Runner, u64)) -> Vec<u64> {
+    heap_image_cfg(config(reproduce_threads), seed, workload)
 }
 
 type Runner<'a> = dudetm::DtmThread<'a, dude_stm::Stm>;
@@ -194,6 +215,35 @@ fn btree_images_identical_across_shard_counts() {
     assert_differential("btree", btree_like, 0x5EED_BEEF);
     for seed in extra_seeds() {
         assert_differential("btree", btree_like, seed);
+    }
+}
+
+/// Differential oracle for the parallel grouped Persist stage: the same
+/// single-Perform-thread workload must produce a byte-identical drained
+/// heap whether groups are flushed by the serial grouped worker
+/// (`persist_flush_workers = 1`) or fanned out to 2 or 4 parallel flush
+/// workers — and identical to the ungrouped serial reference too. Byte
+/// determinism is what makes this meaningful: `combine_sorted` gives every
+/// worker the same serialized group body, and in-order publication keeps
+/// the replay sequence dense, so no flush schedule can leak into the heap.
+#[test]
+fn grouped_images_identical_across_flush_worker_counts() {
+    for workload in [
+        ("bank", bank as fn(&mut Runner, u64), 0xB01D_FACEu64),
+        ("kv", kv, 0x0FF1_CE),
+    ] {
+        let (name, f, seed) = workload;
+        let reference = heap_image(1, seed, f);
+        for compress in [false, true] {
+            for fw in [1usize, 2, 4] {
+                let image = heap_image_cfg(grouped_config(fw, compress), seed, f);
+                assert_eq!(
+                    image, reference,
+                    "{name} seed {seed:#x}: grouped persist (fw={fw}, lz={compress}) \
+                     diverged from the serial ungrouped reference"
+                );
+            }
+        }
     }
 }
 

@@ -214,8 +214,21 @@ fn spin_for(dur: Duration) {
 
 /// Waits out `dur` while releasing the CPU to runnable threads — the
 /// background-stage delay (see [`set_background_stage`]).
+///
+/// Long waits park the thread outright instead of yielding: a yield loop
+/// keeps the thread runnable for the whole window, so on hosts with few
+/// cores every "waiting" background stage still consumes a fair-share
+/// scheduler slice and starves the compute threads it was supposed to get
+/// out of the way of. Parking frees the core entirely — which is exactly
+/// what a stage waiting out device time on dedicated hardware looks like —
+/// and the trailing yield loop restores sub-quantum precision.
 fn wait_yielding(dur: Duration) {
+    const PARK_FLOOR: Duration = Duration::from_micros(200);
+    const PARK_SLACK: Duration = Duration::from_micros(100);
     let start = Instant::now();
+    if dur >= PARK_FLOOR {
+        std::thread::sleep(dur - PARK_SLACK);
+    }
     while start.elapsed() < dur {
         std::thread::yield_now();
     }

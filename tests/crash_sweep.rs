@@ -550,6 +550,103 @@ fn sweep_grouped_compressed_background_writes() {
     );
 }
 
+// ---- Parallel grouped Persist (`persist_flush_workers` ∈ {2, 4}) ---------
+//
+// The sequencer/flush-worker split spreads group records round-robin over
+// one ring per worker and fences them out of order; only *publication*
+// (durable watermark + hand-off to Reproduce) is in order. The prefix
+// invariant is therefore load-bearing in a new way: a crash amid N
+// in-flight group flushes may persist groups beyond a gap, and recovery
+// must discard every group past the first missing one — across rings —
+// or the recovered balances cannot match any per-transaction prefix state.
+
+fn grouped_mw(compress: bool, workers: usize) -> DudeTmConfig {
+    DudeTmConfig {
+        max_threads: 4,
+        plog_bytes_per_thread: 1 << 14,
+        checkpoint_every: 8,
+        ..DudeTmConfig::small(1 << 16)
+    }
+    .with_durability(ASYNC)
+    .with_grouping(8, compress)
+    .with_flush_workers(workers)
+}
+
+#[test]
+fn sweep_grouped_two_flush_workers_background_flushes() {
+    let (rounds, tripped) = sweep(
+        grouped_mw(false, 2),
+        CrashEventKind::Flush,
+        StageFilter::Background,
+        false,
+        60,
+    );
+    assert!(rounds >= 15, "only {rounds} 2-worker grouped flush points");
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_grouped_two_flush_workers_compressed_torn() {
+    // Torn line inside a compressed group on either worker's ring: the
+    // checksum rejects it and recovery drops the whole group plus every
+    // group beyond it, even those another worker fenced first.
+    let (rounds, tripped) = sweep(
+        grouped_mw(true, 2),
+        CrashEventKind::Flush,
+        StageFilter::Any,
+        true,
+        50,
+    );
+    assert!(
+        rounds >= 15,
+        "only {rounds} 2-worker compressed torn points"
+    );
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_grouped_four_flush_workers_compressed_flushes() {
+    let (rounds, tripped) = sweep(
+        grouped_mw(true, 4),
+        CrashEventKind::Flush,
+        StageFilter::Background,
+        false,
+        60,
+    );
+    assert!(
+        rounds >= 15,
+        "only {rounds} 4-worker compressed flush points"
+    );
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
+#[test]
+fn sweep_grouped_four_flush_workers_background_fences() {
+    // Each worker fences its own ring: the fence class now has events from
+    // up to four flush threads plus the checkpoint.
+    let (rounds, tripped) = sweep(
+        grouped_mw(false, 4),
+        CrashEventKind::Fence,
+        StageFilter::Background,
+        false,
+        60,
+    );
+    assert!(rounds >= 5, "only {rounds} 4-worker fence points");
+    assert!(
+        tripped >= rounds / 2,
+        "only {tripped}/{rounds} plans tripped"
+    );
+}
+
 /// A swept crash must leave a device the full runtime can restart from, not
 /// just one `recover_device` can read: recover with `DudeTm::recover_stm`,
 /// check the prefix invariant through the runtime's own heap view, and keep

@@ -23,13 +23,14 @@
 //!    oracle.
 //!
 //! The config matrix covers `persist_threads ∈ {1,2}`, `persist_group ∈
-//! {1,8}` with and without `compress_groups`, `reproduce_threads ∈ {1,4}`,
-//! and Async/AsyncUnbounded/Sync durability — every valid combination of
-//! the axes (grouping requires one persist thread and an async mode; see
-//! `DudeTmConfig::try_validate`). With the default seed set the eight
-//! sweeps below enumerate well over 500 `(seed × crash point × config)`
-//! cases; set `DUDE_SWEEP_SEEDS=7,1337,424242` (comma-separated) to rerun
-//! the same matrix under other interleavings, as CI does in release mode.
+//! {1,8}` with and without `compress_groups`, `persist_flush_workers ∈
+//! {1,2,4}` on the grouped path, `reproduce_threads ∈ {1,4}`, and
+//! Async/AsyncUnbounded/Sync durability — every valid combination of the
+//! axes (grouping requires an async mode; see
+//! `DudeTmConfig::try_validate`). With the default seed set the sweeps
+//! below enumerate well over 500 `(seed × crash point × config)` cases;
+//! set `DUDE_SWEEP_SEEDS=7,1337,424242` (comma-separated) to rerun the
+//! same matrix under other interleavings, as CI does in release mode.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -80,6 +81,20 @@ fn cfg(
     }
     .with_durability(mode);
     c.try_validate().expect("sweep matrix combo must be valid");
+    c
+}
+
+/// Grouped config with the Persist stage split into a sequencer plus
+/// `workers` parallel flush workers (each owning one log ring).
+fn cfg_fw(
+    mode: DurabilityMode,
+    persist_group: usize,
+    compress: bool,
+    reproduce_threads: usize,
+    workers: usize,
+) -> DudeTmConfig {
+    let c = cfg(mode, 1, persist_group, compress, reproduce_threads).with_flush_workers(workers);
+    c.try_validate().expect("flush-worker combo must be valid");
     c
 }
 
@@ -497,6 +512,65 @@ fn mt_sweep_grouped_compressed_sharded() {
             20,
         ),
         30,
+    );
+}
+
+/// Two parallel flush workers on the grouped path: groups fence out of
+/// order on two rings, but the oracle must still see exact contiguous TID
+/// prefixes — the in-order publication gate is what's under test here.
+#[test]
+fn mt_sweep_grouped_two_flush_workers() {
+    let combo = Combo {
+        name: "async pt=seq pg=8 fw=2 rt=1",
+        cfg: cfg_fw(ASYNC, 8, false, 1, 2),
+        workload: Workload::Bank,
+        threads: 4,
+        ops: 12,
+    };
+    assert_sweep(
+        combo.name,
+        sweep_mt(
+            &combo,
+            CrashEventKind::Flush,
+            StageFilter::Background,
+            false,
+            20,
+        ),
+        20,
+    );
+    assert_sweep(
+        combo.name,
+        sweep_mt(&combo, CrashEventKind::Fence, StageFilter::Any, true, 20),
+        10,
+    );
+}
+
+/// Four flush workers + compression + sharded Reproduce: the full
+/// parallel-Persist feature stack under the nastiest crash classes.
+#[test]
+fn mt_sweep_grouped_compressed_four_flush_workers_sharded() {
+    let combo = Combo {
+        name: "async pt=seq pg=8+lz fw=4 rt=4",
+        cfg: cfg_fw(ASYNC, 8, true, 4, 4),
+        workload: Workload::Bank,
+        threads: 4,
+        ops: 12,
+    };
+    assert_sweep(
+        combo.name,
+        sweep_mt(&combo, CrashEventKind::Flush, StageFilter::Any, true, 20),
+        20,
+    );
+    assert_sweep(
+        combo.name,
+        sweep_mt(
+            &combo,
+            CrashEventKind::Write,
+            StageFilter::Background,
+            false,
+            20,
+        ),
+        20,
     );
 }
 
