@@ -60,6 +60,8 @@ mod pipeline;
 mod plog;
 mod recovery;
 mod runtime;
+#[cfg(feature = "sim")]
+pub mod sabotage;
 mod seqtrack;
 mod shadow;
 mod stats;

@@ -36,7 +36,7 @@
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 
@@ -212,7 +212,7 @@ pub(crate) fn persist_worker(
             return;
         }
         if !progress {
-            std::thread::sleep(Duration::from_micros(50));
+            dude_nvm::thread::sleep(Duration::from_micros(50));
         }
     }
 }
@@ -301,9 +301,12 @@ pub(crate) fn persist_sequencer(
     let mut expected = shared.tracker.watermark() + 1;
     let mut current: Vec<LogRecord> = Vec::new();
     let mut next_seq = 0u64;
-    let mut last_flush = Instant::now();
+    // Hold-timer arithmetic runs on the shared monotonic clock (virtual
+    // under sim), not `Instant`, so the latency bound is deterministic in
+    // schedule-exploration runs and unchanged natively.
+    let mut last_flush = dude_nvm::monotonic_ns();
     // Dispatch a partial group after this much quiet time (latency bound).
-    let max_hold = Duration::from_millis(2);
+    let max_hold_ns = Duration::from_millis(2).as_nanos() as u64;
 
     let dispatch = |current: &mut Vec<LogRecord>, next_seq: &mut u64| {
         if current.is_empty() {
@@ -362,13 +365,13 @@ pub(crate) fn persist_sequencer(
             // expire immediately and dispatch a group of one, so restart it
             // when the group goes empty → non-empty.
             if current.is_empty() {
-                last_flush = Instant::now();
+                last_flush = dude_nvm::monotonic_ns();
             }
             current.push(rec);
             expected += 1;
             if current.len() >= group {
                 dispatch(&mut current, &mut next_seq);
-                last_flush = Instant::now();
+                last_flush = dude_nvm::monotonic_ns();
             }
         }
         let all_done = done.iter().all(|&d| d);
@@ -379,9 +382,10 @@ pub(crate) fn persist_sequencer(
             // with them.
             return;
         }
-        if !current.is_empty() && last_flush.elapsed() > max_hold {
+        if !current.is_empty() && dude_nvm::monotonic_ns().saturating_sub(last_flush) > max_hold_ns
+        {
             dispatch(&mut current, &mut next_seq);
-            last_flush = Instant::now();
+            last_flush = dude_nvm::monotonic_ns();
         }
         if !progress {
             if all_done {
@@ -404,7 +408,7 @@ pub(crate) fn persist_sequencer(
                     .persist_seq_wait
                     .fetch_add(1, Ordering::Relaxed);
             }
-            std::thread::sleep(Duration::from_micros(50));
+            dude_nvm::thread::sleep(Duration::from_micros(50));
         }
     }
 }
@@ -453,9 +457,19 @@ pub(crate) fn persist_flush_worker(
                     .persist_ring_full
                     .fetch_add(1, Ordering::Relaxed);
             }
-            std::thread::sleep(Duration::from_micros(50));
+            dude_nvm::thread::sleep(Duration::from_micros(50));
         };
-        shared.nvm.fence();
+        // Fence before the group is published durable. The sabotage gate
+        // exists only in sim builds: dropping this fence is the injected
+        // ordering bug the schedule fuzzer must catch (a planned crash
+        // then loses a group whose durability was already announced).
+        #[cfg(feature = "sim")]
+        let fence_skipped = crate::sabotage::skip_group_fence();
+        #[cfg(not(feature = "sim"))]
+        let fence_skipped = false;
+        if !fence_skipped {
+            shared.nvm.fence();
+        }
         if tracing {
             let dur = dude_nvm::monotonic_ns().saturating_sub(t0);
             shared.trace.persist_barrier_ns.record(dur);
@@ -701,7 +715,7 @@ pub(crate) fn reproduce_router(
                 .checkpoint_wait
                 .fetch_add(1, Ordering::Relaxed);
         }
-        std::thread::yield_now();
+        dude_nvm::thread::yield_now();
     }
     if target > watermark {
         shared
@@ -784,7 +798,15 @@ pub(crate) fn reproduce_shard_worker(shared: Arc<Shared>, shard: usize, rx: Rece
                 dur,
             );
         }
-        shared.frontier.publish(shard, last);
+        // The sabotage offset exists only in sim builds: publishing
+        // `last + 1` is the injected off-by-one frontier bug — the min
+        // frontier (and therefore the checkpoint) can then cover a TID
+        // this shard never applied, which a planned crash exposes.
+        #[cfg(feature = "sim")]
+        let publish_tid = last + crate::sabotage::frontier_publish_offset();
+        #[cfg(not(feature = "sim"))]
+        let publish_tid = last;
+        shared.frontier.publish(shard, publish_tid);
         run.clear();
     }
 }

@@ -102,7 +102,7 @@ impl PlogRing {
             if let Some(span) = self.try_append_unfenced(record) {
                 return span;
             }
-            std::thread::yield_now();
+            dude_nvm::thread::yield_now();
         }
     }
 

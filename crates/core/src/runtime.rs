@@ -240,7 +240,7 @@ pub struct DudeTm<E: TmEngine> {
     /// (see [`DudeTm::attach_history`]).
     history: Mutex<Option<Arc<CommitHistory>>>,
     next_slot: AtomicUsize,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: Mutex<Vec<dude_nvm::thread::JoinHandle<()>>>,
     name: &'static str,
 }
 
@@ -354,24 +354,18 @@ impl<E: TmEngine> DudeTm<E> {
                         let shared2 = Arc::clone(&shared);
                         let publisher2 = Arc::clone(&publisher);
                         let compress = config.compress_groups;
-                        workers.push(
-                            std::thread::Builder::new()
-                                .name(format!("dude-persist-flush-{w}"))
-                                .spawn(move || {
-                                    persist_flush_worker(shared2, w, rx, publisher2, compress)
-                                })
-                                .expect("spawn persist flush worker"),
-                        );
+                        workers.push(dude_nvm::thread::spawn_named(
+                            &format!("dude-persist-flush-{w}"),
+                            move || persist_flush_worker(shared2, w, rx, publisher2, compress),
+                        ));
                     }
                     let shared2 = Arc::clone(&shared);
                     let inputs = receivers.into_iter().enumerate().collect();
                     let group = config.persist_group;
-                    workers.push(
-                        std::thread::Builder::new()
-                            .name("dude-persist-seq".into())
-                            .spawn(move || persist_sequencer(shared2, inputs, worker_txs, group))
-                            .expect("spawn persist sequencer"),
-                    );
+                    workers.push(dude_nvm::thread::spawn_named(
+                        "dude-persist-seq",
+                        move || persist_sequencer(shared2, inputs, worker_txs, group),
+                    ));
                 } else {
                     // Partition the per-thread channels across persist
                     // threads round-robin.
@@ -384,12 +378,10 @@ impl<E: TmEngine> DudeTm<E> {
                     for (w, inputs) in parts.into_iter().enumerate() {
                         let shared2 = Arc::clone(&shared);
                         let out = batch_tx.clone();
-                        workers.push(
-                            std::thread::Builder::new()
-                                .name(format!("dude-persist-{w}"))
-                                .spawn(move || persist_worker(shared2, inputs, out))
-                                .expect("spawn persist worker"),
-                        );
+                        workers.push(dude_nvm::thread::spawn_named(
+                            &format!("dude-persist-{w}"),
+                            move || persist_worker(shared2, inputs, out),
+                        ));
                     }
                 }
             }
@@ -400,28 +392,20 @@ impl<E: TmEngine> DudeTm<E> {
                 let (tx, rx) = unbounded::<ShardWork>();
                 shard_txs.push(tx);
                 let shared2 = Arc::clone(&shared);
-                workers.push(
-                    std::thread::Builder::new()
-                        .name(format!("dude-reproduce-shard-{s}"))
-                        .spawn(move || reproduce_shard_worker(shared2, s, rx))
-                        .expect("spawn reproduce shard worker"),
-                );
+                workers.push(dude_nvm::thread::spawn_named(
+                    &format!("dude-reproduce-shard-{s}"),
+                    move || reproduce_shard_worker(shared2, s, rx),
+                ));
             }
             let shared2 = Arc::clone(&shared);
-            workers.push(
-                std::thread::Builder::new()
-                    .name("dude-reproduce".into())
-                    .spawn(move || reproduce_router(shared2, batch_rx, shard_txs))
-                    .expect("spawn reproduce router"),
-            );
+            workers.push(dude_nvm::thread::spawn_named("dude-reproduce", move || {
+                reproduce_router(shared2, batch_rx, shard_txs)
+            }));
         } else {
             let shared2 = Arc::clone(&shared);
-            workers.push(
-                std::thread::Builder::new()
-                    .name("dude-reproduce".into())
-                    .spawn(move || reproduce_worker(shared2, batch_rx))
-                    .expect("spawn reproduce worker"),
-            );
+            workers.push(dude_nvm::thread::spawn_named("dude-reproduce", move || {
+                reproduce_worker(shared2, batch_rx)
+            }));
         }
 
         DudeTm {
@@ -518,7 +502,7 @@ impl<E: TmEngine> DudeTm<E> {
     pub fn quiesce(&self) {
         let target = self.engine.clock_now();
         while self.durable_id() < target || self.reproduced_id() < target {
-            std::thread::yield_now();
+            dude_nvm::thread::yield_now();
         }
     }
 
@@ -677,7 +661,7 @@ impl<E: TmEngine> TxnThread for DtmThread<'_, E> {
 
     fn wait_durable(&mut self, tid: u64) {
         while self.dude.durable_id() < tid {
-            std::thread::yield_now();
+            dude_nvm::thread::yield_now();
         }
     }
 

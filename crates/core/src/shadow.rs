@@ -255,7 +255,7 @@ impl PagedShadow {
         if self.reproduced.load(Ordering::Acquire) < touching {
             self.touch_waits.fetch_add(1, Ordering::Relaxed);
             while self.reproduced.load(Ordering::Acquire) < touching {
-                std::thread::yield_now();
+                dude_nvm::thread::yield_now();
             }
         }
         let src = self.heap_region.start() + u64::from(page) * PAGE_BYTES;
@@ -287,7 +287,7 @@ impl PagedShadow {
                 return f;
             }
             // Every candidate was pinned or contended; let pins drain.
-            std::thread::yield_now();
+            dude_nvm::thread::yield_now();
         }
     }
 

@@ -67,6 +67,48 @@ fn disabled_trace_is_behavior_identical_to_enabled() {
     );
 }
 
+/// Sim twin of the zero-overhead contract: both runs execute under the
+/// virtual clock (tracing timestamps come from `monotonic_ns`, which the
+/// scheduler owns), so the comparison is reproducible — a divergence
+/// replays exactly with the printed seed rather than vanishing on rerun.
+#[cfg(feature = "sim")]
+#[test]
+fn disabled_trace_is_behavior_identical_to_enabled_sim() {
+    let seed = std::env::var("DUDE_SIM_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(7);
+    let mut results = Vec::new();
+    for trace in [TraceConfig::disabled(), TraceConfig::enabled(4096)] {
+        let report = dude_sim::run(dude_sim::SimConfig::from_seed(seed), move || {
+            run_workload(config(trace))
+        });
+        if let Some(p) = report.panic {
+            eprintln!("DUDE_SIM_SEED={seed}");
+            panic!("sim run failed under seed {seed}: {p}");
+        }
+        let (snap, heap, _nvm) = report.result.expect("no panic implies a result");
+        results.push((snap, heap));
+    }
+    let (mut snap_off, heap_off) = results.remove(0);
+    let (mut snap_on, heap_on) = results.remove(0);
+    assert_eq!(
+        heap_off, heap_on,
+        "heap image must not depend on tracing (DUDE_SIM_SEED={seed})"
+    );
+    // Tracing adds virtual-clock yield points, so the two schedules are
+    // not step-identical; normalize the schedule-dependent counters, as
+    // the native test does.
+    snap_off.counters.checkpoints = 0;
+    snap_on.counters.checkpoints = 0;
+    snap_off.stalls = Default::default();
+    snap_on.stalls = Default::default();
+    assert_eq!(
+        snap_off, snap_on,
+        "PipelineSnapshot must not depend on tracing (DUDE_SIM_SEED={seed})"
+    );
+}
+
 #[test]
 fn disabled_trace_records_and_counts_nothing() {
     let nvm = test_nvm(8 << 20);
@@ -146,10 +188,12 @@ fn sharded_replay_histograms_are_per_shard() {
     assert!(json.contains("replay_apply_ns_shard3"), "{json}");
 }
 
-/// Perform blocking on a tiny bounded volatile log shows up as the
-/// perform_log_full stall (Finding 2's "rarely blocks" made measurable).
-#[test]
-fn tiny_buffer_counts_perform_log_full_stalls() {
+/// Shared body for the native stall test and its sim twin: a 1-txn
+/// volatile buffer, 500 commits, returns the perform_log_full count. The
+/// commit/replay counts it asserts are schedule-independent; whether
+/// Perform observably blocked is not, so the callers judge the returned
+/// stall count each in their own way.
+fn tiny_buffer_body() -> u64 {
     let nvm = test_nvm(8 << 20);
     let mut cfg = config(TraceConfig::enabled(4096));
     cfg.durability = DurabilityMode::Async { buffer_txns: 1 };
@@ -162,10 +206,49 @@ fn tiny_buffer_counts_perform_log_full_stalls() {
         }
     }
     dude.quiesce();
-    let stalls = dude.stats_snapshot().stalls;
+    let snap = dude.stats_snapshot();
+    assert_eq!(snap.counters.commits, 500);
+    assert_eq!(snap.counters.txns_reproduced, 500);
+    snap.stalls.perform_log_full
+}
+
+/// Perform blocking on a tiny bounded volatile log shows up as the
+/// perform_log_full stall (Finding 2's "rarely blocks" made measurable).
+/// On the native scheduler a sufficiently fast Persist thread can drain
+/// the 1-txn buffer between every commit, so the probe tolerates a
+/// bounded number of stall-free runs instead of flaking; the sim twin
+/// below asserts the stall outright under a fixed virtual schedule.
+#[test]
+fn tiny_buffer_counts_perform_log_full_stalls() {
+    for _ in 0..3 {
+        if tiny_buffer_body() > 0 {
+            return;
+        }
+        eprintln!("no perform_log_full stall this run; retrying");
+    }
+    panic!("a 1-txn buffer never observably blocked Perform in 3 runs");
+}
+
+/// Sim twin: under the virtual scheduler the schedule is a function of
+/// the seed, so the stall either deterministically happens or the seed is
+/// wrong — no retries, no tolerance.
+#[cfg(feature = "sim")]
+#[test]
+fn tiny_buffer_counts_perform_log_full_stalls_sim() {
+    let seed = std::env::var("DUDE_SIM_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(7);
+    let report = dude_sim::run(dude_sim::SimConfig::from_seed(seed), tiny_buffer_body);
+    if let Some(p) = report.panic {
+        eprintln!("DUDE_SIM_SEED={seed}");
+        panic!("sim run failed under seed {seed}: {p}");
+    }
+    let stalls = report.result.expect("no panic implies a result");
     assert!(
-        stalls.perform_log_full > 0,
-        "a 1-txn buffer must observably block Perform: {stalls:?}"
+        stalls > 0,
+        "1-txn buffer never blocked Perform under the seed-{seed} schedule \
+         (DUDE_SIM_SEED={seed})"
     );
 }
 

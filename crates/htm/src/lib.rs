@@ -202,6 +202,13 @@ enum AbortKind {
 /// finish before the retry (essential on few-core hosts; real RTM software
 /// uses the same pattern in its abort handler).
 fn backoff(attempt: u32) {
+    #[cfg(feature = "sim")]
+    if dude_sim::on_sim_task() {
+        // Spinning would monopolize the virtual-scheduler token; park as
+        // an event waiter so the conflicting transaction can run.
+        dude_sim::block(dude_sim::YieldKind::Backoff);
+        return;
+    }
     if attempt <= 3 {
         for _ in 0..(1u32 << attempt.min(10)) {
             std::hint::spin_loop();
@@ -209,6 +216,18 @@ fn backoff(attempt: u32) {
     } else {
         std::thread::yield_now();
     }
+}
+
+/// Releases the processor while waiting on the fallback-lock word (a raw
+/// atomic): parks on the virtual scheduler under sim, yields natively
+/// otherwise.
+fn fallback_wait() {
+    #[cfg(feature = "sim")]
+    if dude_sim::on_sim_task() {
+        dude_sim::block(dude_sim::YieldKind::Backoff);
+        return;
+    }
+    std::thread::yield_now();
 }
 
 /// Per-thread HTM executor.
@@ -237,7 +256,7 @@ impl<'h> HtmThread<'h> {
             // Subscribe to the fallback lock: wait while it is held.
             let fb = self.htm.fallback.load(Ordering::Acquire);
             if fb & 1 == 1 {
-                std::thread::yield_now();
+                fallback_wait();
                 continue;
             }
             let mut tx = HtmTx::begin(self.htm, mem, hooks, self.owner, fb);
@@ -322,7 +341,7 @@ impl<'h> HtmThread<'h> {
             {
                 break;
             }
-            std::thread::yield_now();
+            fallback_wait();
         }
         // Exclude in-flight speculative publishes, then run alone.
         let gate = self.htm.commit_gate.write();

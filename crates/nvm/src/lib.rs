@@ -45,6 +45,7 @@ mod alloc;
 mod device;
 mod region;
 mod stats;
+pub mod thread;
 mod timing;
 
 pub use alloc::{AllocError, PAllocator, RecoveredHeap};

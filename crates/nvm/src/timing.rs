@@ -29,6 +29,14 @@ static TRACE_EPOCH: OnceLock<Instant> = OnceLock::new();
 /// The epoch is lazily initialized; call once early (the runtime does this
 /// when tracing is enabled) if a zero-based origin matters.
 pub fn monotonic_ns() -> u64 {
+    #[cfg(feature = "sim")]
+    if dude_sim::on_sim_task() {
+        // Clock reads are yield points: timer-driven control flow (flush
+        // hold timers, watermark polls) is schedule-explorable, and the
+        // returned time is the deterministic virtual clock.
+        dude_sim::yield_point(dude_sim::YieldKind::Time);
+        return dude_sim::now_ns();
+    }
     let epoch = TRACE_EPOCH.get_or_init(Instant::now);
     epoch.elapsed().as_nanos() as u64
 }
@@ -191,6 +199,13 @@ impl TimingModel {
             return;
         }
         self.total_delay_ns.fetch_add(ns, Ordering::Relaxed);
+        #[cfg(feature = "sim")]
+        if dude_sim::on_sim_task() {
+            // Modeled device time becomes virtual time: the delay is
+            // exact, deterministic, and free of wall-clock waiting.
+            dude_sim::sleep_ns(ns);
+            return;
+        }
         if BACKGROUND_STAGE.with(|b| b.get()) {
             wait_yielding(Duration::from_nanos(ns));
         } else {

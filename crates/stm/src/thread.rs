@@ -253,6 +253,16 @@ impl<'s> StmThread<'s> {
     /// Bounded exponential spin, then yield — important on few-core hosts
     /// where the conflicting transaction needs the CPU to finish.
     fn backoff(&self, attempt: u32) {
+        #[cfg(feature = "sim")]
+        if dude_sim::on_sim_task() {
+            // Under the virtual scheduler the conflicting transaction only
+            // runs if this task parks — spinning would monopolize the
+            // token. Both backoff branches therefore park as event
+            // waiters (STM word locks are raw atomics, so the wake comes
+            // from the poll interval, not a lock-release event).
+            dude_sim::block(dude_sim::YieldKind::Backoff);
+            return;
+        }
         if attempt <= self.stm.config.spin_retries {
             for _ in 0..(1u32 << attempt.min(10)) {
                 std::hint::spin_loop();

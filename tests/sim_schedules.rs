@@ -1,0 +1,702 @@
+//! Seeded schedule exploration of the whole pipeline under the `dude-sim`
+//! virtual scheduler (`--features sim`).
+//!
+//! Where `tests/crash_sweep_mt.rs` relies on the OS scheduler to produce
+//! interleavings, this suite *owns* the schedule: every lock acquisition,
+//! channel operation, park and clock read is a yield point of a
+//! deterministic scheduler driven by a seeded PRNG, so
+//!
+//! * every run is replayable — the schedule is a pure function of the
+//!   seed, and [`dude_sim::SimReport::trace`] is byte-identical across
+//!   replays of the same seed;
+//! * a seed sweep explores *schedules*, not wall-clock noise: each seed
+//!   also derives its own stay bias and preemption bound
+//!   ([`SimConfig::from_seed`]), mixing long uninterrupted runs with
+//!   aggressive context-switching;
+//! * any failure prints a `DUDE_SIM_SEED=<n>` one-liner; exporting that
+//!   variable reruns exactly the failing schedule.
+//!
+//! Environment knobs:
+//!
+//! * `DUDE_SIM_SEEDS=a,b,c` — base seeds (default `7,1337,424242`).
+//! * `DUDE_SIM_SCHEDULES=n` — derived schedules per base seed per config
+//!   (default 8; CI uses the default, overnight runs can use thousands).
+//! * `DUDE_SIM_SEED=n` — replay exactly one schedule seed everywhere,
+//!   skipping derivation. This is the failure-replay entry point.
+//!
+//! The two `mutation_*` tests are the sharpness check: each arms one
+//! injected ordering bug ([`dudetm::sabotage`]) — a dropped fence in the
+//! grouped-Persist publish path, an off-by-one frontier publish in
+//! sharded Reproduce — and asserts the seed sweep *catches* it within the
+//! default budget. A fuzzer that passes those two mutations but fails a
+//! real run is telling the truth.
+
+#![cfg(feature = "sim")]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dude_nvm::{CrashEventKind, CrashPlan, Nvm, NvmConfig, StageFilter};
+use dude_sim::SimConfig;
+use dude_txapi::{PAddr, TxAbort, TxnSystem, TxnThread};
+use dudetm::sabotage::{Mutation, MutationGuard};
+use dudetm::{check_prefix, recover_device, CommitHistory, DudeTm, DudeTmConfig, DurabilityMode};
+
+const ACCOUNTS: u64 = 8;
+const INITIAL: u64 = 100;
+const ASYNC: DurabilityMode = DurabilityMode::Async { buffer_txns: 16 };
+
+/// Serializes the tests in this binary. `dude_sim::run` already admits
+/// one simulated run at a time process-wide, but the sabotage knobs are
+/// process-global: a mutation armed by one test must never leak into a
+/// run belonging to another.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_tests() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn slot(i: u64) -> PAddr {
+    PAddr::from_word_index(8 + i)
+}
+
+fn fresh_nvm() -> Arc<Nvm> {
+    Arc::new(Nvm::new(NvmConfig::for_testing(1 << 20)))
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().map(|s| {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad {name} value {s:?}"))
+    })
+}
+
+fn base_seeds() -> Vec<u64> {
+    match std::env::var("DUDE_SIM_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad DUDE_SIM_SEEDS entry {t:?}"))
+            })
+            .collect(),
+        Err(_) => vec![7, 1337, 424242],
+    }
+}
+
+/// The seed budget: every base seed expanded into `DUDE_SIM_SCHEDULES`
+/// derived schedule seeds — unless `DUDE_SIM_SEED` pins a single one.
+fn schedule_seeds() -> Vec<u64> {
+    if let Some(s) = env_u64("DUDE_SIM_SEED") {
+        return vec![s];
+    }
+    let per_base = env_u64("DUDE_SIM_SCHEDULES").unwrap_or(8);
+    let mut out = Vec::new();
+    for base in base_seeds() {
+        for i in 0..per_base {
+            // i == 0 keeps the base seed itself so CI's fixed seeds are
+            // literally among the schedules run.
+            out.push(if i == 0 {
+                base
+            } else {
+                splitmix(base ^ (i << 32))
+            });
+        }
+    }
+    out
+}
+
+/// Panics with the replay one-liner for `seed`. All schedule failures in
+/// this suite funnel through here.
+fn fail_seed(seed: u64, label: &str, err: &str) -> ! {
+    eprintln!("DUDE_SIM_SEED={seed}");
+    panic!(
+        "schedule failure under seed {seed} [{label}]: {err}\n\
+         replay: DUDE_SIM_SEED={seed} cargo test --release --features sim --test sim_schedules"
+    );
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    /// Conflicting random transfers; commit-time aborts produce wasted
+    /// TIDs (abort markers) in the durable sequence.
+    Bank,
+    /// Per-thread counter words; conflict-free, densely interleaved TIDs.
+    Counters,
+}
+
+struct Combo {
+    name: &'static str,
+    cfg: DudeTmConfig,
+    workload: Workload,
+    threads: usize,
+    ops: u64,
+}
+
+fn cfg(
+    persist_threads: usize,
+    persist_group: usize,
+    flush_workers: usize,
+    compress: bool,
+    reproduce_threads: usize,
+) -> DudeTmConfig {
+    let c = DudeTmConfig {
+        max_threads: 10,
+        plog_bytes_per_thread: 1 << 16,
+        checkpoint_every: 8,
+        persist_threads,
+        persist_group,
+        compress_groups: compress,
+        reproduce_threads,
+        persist_flush_workers: flush_workers,
+        ..DudeTmConfig::small(1 << 16)
+    }
+    .with_durability(ASYNC);
+    c.try_validate().expect("sim matrix combo must be valid");
+    c
+}
+
+/// What one simulated run observed before any crash instant.
+struct SimRun {
+    /// Highest TID acknowledged durable strictly before the crash trip.
+    acked_tid: u64,
+    /// Per-worker increments acknowledged durable (Counters only).
+    acked_incr: Vec<u64>,
+    history: Arc<CommitHistory>,
+    trace: Vec<u8>,
+}
+
+/// Runs one workload to clean shutdown inside the virtual scheduler.
+/// The whole lifetime of the runtime — formatting, worker spawns, the
+/// transactions, `wait_durable` acknowledgements, quiesce-on-drop — runs
+/// as simulated tasks; the schedule is a pure function of `seed`.
+fn run_sim(
+    nvm: &Arc<Nvm>,
+    cfg: DudeTmConfig,
+    workload: Workload,
+    threads: usize,
+    ops: u64,
+    seed: u64,
+    plan: Option<CrashPlan>,
+) -> Result<SimRun, String> {
+    let history = Arc::new(CommitHistory::new(64 + 16 * threads * ops as usize));
+    let nvm_in = Arc::clone(nvm);
+    let history_in = Arc::clone(&history);
+    let report = dude_sim::run(SimConfig::from_seed(seed), move || {
+        let dude = Arc::new(DudeTm::create_stm(Arc::clone(&nvm_in), cfg));
+        dude.attach_history(history_in);
+        match plan {
+            Some(p) => nvm_in.arm_crash_plan(p),
+            // Counting pass: exclude formatting, like the armed runs do.
+            None => nvm_in.reset_persistence_events(),
+        }
+        if workload == Workload::Bank {
+            // Seed balances as tid 1 so the conserved-sum invariant
+            // covers every recovered prefix with last_tid >= 1.
+            let mut t = dude.register_thread();
+            t.run(&mut |tx| {
+                for i in 0..ACCOUNTS {
+                    tx.write_word(slot(i), INITIAL)?;
+                }
+                Ok(())
+            })
+            .expect_committed();
+        }
+        let acked_tid = Arc::new(AtomicU64::new(0));
+        let acked_incr: Arc<Vec<AtomicU64>> =
+            Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
+        let mut handles = Vec::new();
+        for w in 0..threads {
+            let dude = Arc::clone(&dude);
+            let nvm = Arc::clone(&nvm_in);
+            let acked_tid = Arc::clone(&acked_tid);
+            let acked_incr = Arc::clone(&acked_incr);
+            handles.push(dude_nvm::thread::spawn_named(
+                &format!("sim-worker-{w}"),
+                move || {
+                    let mut t = dude.register_thread();
+                    let mut x = seed ^ (w as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    for op in 0..ops {
+                        let committed = match workload {
+                            Workload::Bank => {
+                                let (a, b) = loop {
+                                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                                    let a = (x >> 33) % ACCOUNTS;
+                                    let b = (x >> 13) % ACCOUNTS;
+                                    if a != b {
+                                        break (a, b);
+                                    }
+                                };
+                                let out = t.run(&mut |tx| {
+                                    let va = tx.read_word(slot(a))?;
+                                    if va == 0 {
+                                        return Err(TxAbort::User);
+                                    }
+                                    tx.write_word(slot(a), va - 1)?;
+                                    let vb = tx.read_word(slot(b))?;
+                                    tx.write_word(slot(b), vb + 1)
+                                });
+                                out.info().and_then(|i| i.tid)
+                            }
+                            Workload::Counters => {
+                                let out = t.run(&mut |tx| {
+                                    let v = tx.read_word(slot(w as u64))?;
+                                    tx.write_word(slot(w as u64), v + 1)
+                                });
+                                Some(out.info().expect("counter tx commits").tid.unwrap())
+                            }
+                        };
+                        if let Some(tid) = committed {
+                            if op % 4 == 3 {
+                                t.wait_durable(tid);
+                                // `wait_durable` returned before the trip was
+                                // observed, so the covering fence completed
+                                // before the crash instant.
+                                if !nvm.crash_plan_tripped() {
+                                    acked_tid.fetch_max(tid, Ordering::Relaxed);
+                                    acked_incr[w].fetch_max(op + 1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                },
+            ));
+        }
+        for h in handles {
+            h.join().expect("sim worker panicked");
+        }
+        let acked = acked_tid.load(Ordering::Relaxed);
+        let incr: Vec<u64> = acked_incr
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        drop(
+            Arc::try_unwrap(dude)
+                .unwrap_or_else(|_| panic!("workers joined, runtime must be unshared")),
+        );
+        (acked, incr)
+    });
+    if let Some(p) = report.panic {
+        return Err(format!("simulated run aborted: {p}"));
+    }
+    let (acked_tid, acked_incr) = report
+        .result
+        .expect("sim run without panic must carry a result");
+    Ok(SimRun {
+        acked_tid,
+        acked_incr,
+        history,
+        trace: report.trace,
+    })
+}
+
+/// Applies the recovery oracles; `Err` carries the violated property so
+/// the caller can attach the seed one-liner.
+fn check_recovery(
+    nvm: &Arc<Nvm>,
+    cfg: &DudeTmConfig,
+    workload: Workload,
+    run: &SimRun,
+    ops: u64,
+) -> Result<(), String> {
+    let (layout, report) =
+        recover_device(nvm, cfg).map_err(|e| format!("recovery failed: {e:?}"))?;
+    // Durability: every acknowledged transaction survives.
+    if report.last_tid < run.acked_tid {
+        return Err(format!(
+            "acknowledged tid {} lost (recovered to {})",
+            run.acked_tid, report.last_tid
+        ));
+    }
+    // Durable linearizability: the heap is the replay of exactly the
+    // prefix 1..=last_tid of the history that actually happened.
+    let entries = run.history.entries();
+    check_prefix(&entries, run.history.dropped(), report.last_tid, |addr| {
+        nvm.read_word(layout.heap.start() + addr)
+    })
+    .map_err(|e| format!("durable linearizability violated: {e}"))?;
+    match workload {
+        Workload::Bank => {
+            if report.last_tid >= 1 {
+                let total: u64 = (0..ACCOUNTS)
+                    .map(|i| nvm.read_word(layout.heap.start() + slot(i).offset()))
+                    .sum();
+                if total != ACCOUNTS * INITIAL {
+                    return Err(format!(
+                        "money not conserved after recovery to {}: {total}",
+                        report.last_tid
+                    ));
+                }
+            }
+        }
+        Workload::Counters => {
+            for (w, &acked) in run.acked_incr.iter().enumerate() {
+                let v = nvm.read_word(layout.heap.start() + slot(w as u64).offset());
+                if v < acked {
+                    return Err(format!(
+                        "thread {w} counter regressed below acknowledged progress ({v} < {acked})"
+                    ));
+                }
+                if v > ops {
+                    return Err(format!(
+                        "thread {w} counter beyond committed total ({v} > {ops})"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One clean run + recovery check under `seed`; returns the run for
+/// trace comparison.
+fn clean_case(combo: &Combo, seed: u64) -> SimRun {
+    let nvm = fresh_nvm();
+    let run = run_sim(
+        &nvm,
+        combo.cfg,
+        combo.workload,
+        combo.threads,
+        combo.ops,
+        seed,
+        None,
+    )
+    .unwrap_or_else(|e| fail_seed(seed, combo.name, &e));
+    if let Err(e) = check_recovery(&nvm, &combo.cfg, combo.workload, &run, combo.ops) {
+        fail_seed(seed, combo.name, &e);
+    }
+    run
+}
+
+/// Armed run: crash at the `n`-th persistence event of the schedule,
+/// freeze the image, recover, and apply both oracles.
+fn crash_case(combo: &Combo, seed: u64, event: CrashEventKind, n: u64) -> bool {
+    let plan = CrashPlan::at_nth(event, n).for_stage(StageFilter::Any);
+    let nvm = fresh_nvm();
+    let run = run_sim(
+        &nvm,
+        combo.cfg,
+        combo.workload,
+        combo.threads,
+        combo.ops,
+        seed,
+        Some(plan),
+    )
+    .unwrap_or_else(|e| fail_seed(seed, combo.name, &e));
+    let tripped = nvm.apply_planned_crash();
+    if let Err(e) = check_recovery(&nvm, &combo.cfg, combo.workload, &run, combo.ops) {
+        fail_seed(seed, combo.name, &format!("{event:?} crash point {n}: {e}"));
+    }
+    tripped
+}
+
+/// The seed sweep for one config: every schedule seed runs clean, and
+/// (when `crash_points > 0`) a stride of planned crashes over the flush
+/// timeline of that same schedule.
+fn explore(combo: &Combo, crash_points: u64) {
+    let _g = lock_tests();
+    let mut tripped = 0u64;
+    let mut armed = 0u64;
+    for seed in schedule_seeds() {
+        let clean = clean_case(combo, seed);
+        if crash_points == 0 {
+            continue;
+        }
+        // Count this schedule's flush events from the clean pass image.
+        let nvm = fresh_nvm();
+        let run = run_sim(
+            &nvm,
+            combo.cfg,
+            combo.workload,
+            combo.threads,
+            combo.ops,
+            seed,
+            None,
+        )
+        .unwrap_or_else(|e| fail_seed(seed, combo.name, &e));
+        assert_eq!(
+            run.trace, clean.trace,
+            "{}: counting pass diverged from clean pass under seed {seed}",
+            combo.name
+        );
+        let events = nvm
+            .persistence_events()
+            .count(CrashEventKind::Flush, StageFilter::Any);
+        assert!(
+            events > 0,
+            "{}: no flush events under seed {seed}",
+            combo.name
+        );
+        let stride = (events / crash_points).max(1);
+        let mut i = 1;
+        // One stride past the count: an index beyond the run's actual
+        // event total must degrade to a clean no-crash round.
+        while i <= events + stride {
+            if crash_case(combo, seed, CrashEventKind::Flush, i) {
+                tripped += 1;
+            }
+            armed += 1;
+            i += stride;
+        }
+    }
+    if crash_points > 0 {
+        assert!(
+            tripped >= armed / 3,
+            "{}: only {tripped}/{armed} crash plans tripped",
+            combo.name
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+/// The acceptance bar for replayability: the same `DUDE_SIM_SEED` drives
+/// the full pipeline through a byte-identical schedule trace twice.
+#[test]
+fn same_seed_replays_byte_identical_trace() {
+    let _g = lock_tests();
+    let combo = Combo {
+        name: "replay pt=1 pg=8 fw=2 rt=1",
+        cfg: cfg(1, 8, 2, false, 1),
+        workload: Workload::Bank,
+        threads: 3,
+        ops: 8,
+    };
+    let seed = env_u64("DUDE_SIM_SEED").unwrap_or(7);
+    let mut traces = Vec::new();
+    for _ in 0..2 {
+        let nvm = fresh_nvm();
+        let run = run_sim(
+            &nvm,
+            combo.cfg,
+            combo.workload,
+            combo.threads,
+            combo.ops,
+            seed,
+            None,
+        )
+        .unwrap_or_else(|e| fail_seed(seed, combo.name, &e));
+        assert!(!run.trace.is_empty(), "trace must record the schedule");
+        traces.push(run.trace);
+    }
+    assert_eq!(
+        traces[0], traces[1],
+        "same seed must replay a byte-identical schedule trace"
+    );
+    // And a different seed explores a different schedule.
+    let nvm = fresh_nvm();
+    let other = run_sim(
+        &nvm,
+        combo.cfg,
+        combo.workload,
+        combo.threads,
+        combo.ops,
+        seed ^ 0xDEAD_BEEF,
+        None,
+    )
+    .unwrap_or_else(|e| fail_seed(seed ^ 0xDEAD_BEEF, combo.name, &e));
+    assert_ne!(
+        traces[0], other.trace,
+        "different seeds must explore different schedules"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Schedule sweeps over the config matrix
+// ---------------------------------------------------------------------------
+
+#[test]
+fn schedules_baseline_bank() {
+    explore(
+        &Combo {
+            name: "sim pt=1 pg=1 rt=1",
+            cfg: cfg(1, 1, 1, false, 1),
+            workload: Workload::Bank,
+            threads: 3,
+            ops: 8,
+        },
+        4,
+    );
+}
+
+#[test]
+fn schedules_two_persist_threads_bank() {
+    explore(
+        &Combo {
+            name: "sim pt=2 pg=1 rt=1",
+            cfg: cfg(2, 1, 1, false, 1),
+            workload: Workload::Bank,
+            threads: 3,
+            ops: 8,
+        },
+        0,
+    );
+}
+
+#[test]
+fn schedules_grouped_flush_workers_bank() {
+    explore(
+        &Combo {
+            name: "sim pt=seq pg=8 fw=2 rt=1",
+            cfg: cfg(1, 8, 2, false, 1),
+            workload: Workload::Bank,
+            threads: 3,
+            ops: 8,
+        },
+        4,
+    );
+}
+
+#[test]
+fn schedules_grouped_compressed_sharded_bank() {
+    explore(
+        &Combo {
+            name: "sim pt=seq pg=8+lz fw=4 rt=4",
+            cfg: cfg(1, 8, 4, true, 4),
+            workload: Workload::Bank,
+            threads: 3,
+            ops: 8,
+        },
+        0,
+    );
+}
+
+#[test]
+fn schedules_sharded_counters() {
+    explore(
+        &Combo {
+            name: "sim pt=1 pg=1 rt=4 counters",
+            cfg: cfg(1, 1, 1, false, 4),
+            workload: Workload::Counters,
+            threads: 4,
+            ops: 8,
+        },
+        4,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Mutation sharpness: the fuzzer must catch known-injected ordering bugs
+// ---------------------------------------------------------------------------
+
+/// Arms `mutation` and sweeps (schedule seed × crash point) until one
+/// case fails an oracle; asserts detection within the default budget and
+/// prints the failing seed's replay line.
+fn assert_mutation_caught(mutation: Mutation, combo: &Combo) {
+    let _g = lock_tests();
+    let guard = MutationGuard::arm(mutation);
+    let mut caught: Option<(u64, u64, String)> = None;
+    'sweep: for seed in schedule_seeds() {
+        // Counting pass under the mutation (its schedule differs from the
+        // healthy one — the skipped fence removes yield points).
+        let nvm = fresh_nvm();
+        let run = run_sim(
+            &nvm,
+            combo.cfg,
+            combo.workload,
+            combo.threads,
+            combo.ops,
+            seed,
+            None,
+        );
+        let events = match run {
+            // A clean-run failure (e.g. an in-run assertion tripped by
+            // the mutation) is already a detection.
+            Err(e) => {
+                caught = Some((seed, 0, e));
+                break 'sweep;
+            }
+            Ok(_) => nvm
+                .persistence_events()
+                .count(CrashEventKind::Flush, StageFilter::Any),
+        };
+        // Crash points: a coarse stride over the whole flush timeline
+        // (catches bugs with wide windows, like the dropped group fence)
+        // plus every point in the tail (the off-by-one frontier publish
+        // is only exposed in the shutdown drain, where no later record
+        // can repair the hole the premature checkpoint leaves).
+        let stride = (events / 8).max(1);
+        let mut points: Vec<u64> = (1..=events).step_by(stride as usize).collect();
+        points.extend(events.saturating_sub(11).max(1)..=events);
+        points.sort_unstable();
+        points.dedup();
+        for i in points {
+            let plan = CrashPlan::at_nth(CrashEventKind::Flush, i).for_stage(StageFilter::Any);
+            let nvm = fresh_nvm();
+            match run_sim(
+                &nvm,
+                combo.cfg,
+                combo.workload,
+                combo.threads,
+                combo.ops,
+                seed,
+                Some(plan),
+            ) {
+                Err(e) => {
+                    caught = Some((seed, i, e));
+                    break 'sweep;
+                }
+                Ok(run) => {
+                    nvm.apply_planned_crash();
+                    if let Err(e) =
+                        check_recovery(&nvm, &combo.cfg, combo.workload, &run, combo.ops)
+                    {
+                        caught = Some((seed, i, e));
+                        break 'sweep;
+                    }
+                }
+            }
+        }
+    }
+    drop(guard);
+    let (seed, point, err) = caught.unwrap_or_else(|| {
+        panic!(
+            "{}: injected mutation {mutation:?} survived the default seed budget — \
+             the schedule fuzzer has lost its sharpness",
+            combo.name
+        )
+    });
+    // The detection one-liner the issue asks for: the seed that found
+    // the injected bug, ready for replay.
+    eprintln!("DUDE_SIM_SEED={seed}");
+    eprintln!("mutation {mutation:?} caught at crash point {point} under seed {seed}: {err}");
+}
+
+#[test]
+fn mutation_dropped_group_fence_is_caught() {
+    assert_mutation_caught(
+        Mutation::SkipGroupFence,
+        &Combo {
+            name: "mutation-A pt=seq pg=8 fw=2 rt=1",
+            cfg: cfg(1, 8, 2, false, 1),
+            workload: Workload::Bank,
+            threads: 3,
+            ops: 8,
+        },
+    );
+}
+
+#[test]
+fn mutation_frontier_off_by_one_is_caught() {
+    assert_mutation_caught(
+        Mutation::FrontierOffByOne,
+        &Combo {
+            name: "mutation-B pt=1 pg=1 rt=4",
+            cfg: cfg(1, 1, 1, false, 4),
+            workload: Workload::Bank,
+            threads: 3,
+            ops: 8,
+        },
+    );
+}

@@ -5,6 +5,15 @@
 //! senders and receivers are cloneable, plus the matching error types.
 //! Implemented with a `Mutex<VecDeque>` and two condvars; throughput is
 //! adequate for the pipeline's per-transaction record granularity.
+//!
+//! Under `cfg(feature = "sim")` every channel operation on a simulated
+//! task becomes a yield point of the `dude-sim` virtual scheduler:
+//! blocking sends/recvs turn into nonblocking-check/park loops (so a
+//! simulated task never blocks natively on a peer that is itself
+//! parked), `recv_timeout` deadlines run on the virtual clock, and every
+//! state change (successful op, endpoint disconnect) wakes the
+//! scheduler's event waiters. Threads outside a simulated run keep the
+//! native condvar paths.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -125,12 +134,21 @@ pub mod channel {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let mut st = self.shared.state.lock().expect("channel lock");
-            st.senders -= 1;
-            if st.senders == 0 {
-                // Wake receivers so they observe the disconnect.
-                self.shared.not_empty.notify_all();
+            let disconnected = {
+                let mut st = self.shared.state.lock().expect("channel lock");
+                st.senders -= 1;
+                if st.senders == 0 {
+                    // Wake receivers so they observe the disconnect.
+                    self.shared.not_empty.notify_all();
+                }
+                st.senders == 0
+            };
+            #[cfg(feature = "sim")]
+            if disconnected {
+                dude_sim::wake_all();
             }
+            #[cfg(not(feature = "sim"))]
+            let _ = disconnected;
         }
     }
 
@@ -145,12 +163,21 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            let mut st = self.shared.state.lock().expect("channel lock");
-            st.receivers -= 1;
-            if st.receivers == 0 {
-                // Wake blocked senders so they observe the disconnect.
-                self.shared.not_full.notify_all();
+            let disconnected = {
+                let mut st = self.shared.state.lock().expect("channel lock");
+                st.receivers -= 1;
+                if st.receivers == 0 {
+                    // Wake blocked senders so they observe the disconnect.
+                    self.shared.not_full.notify_all();
+                }
+                st.receivers == 0
+            };
+            #[cfg(feature = "sim")]
+            if disconnected {
+                dude_sim::wake_all();
             }
+            #[cfg(not(feature = "sim"))]
+            let _ = disconnected;
         }
     }
 
@@ -158,6 +185,10 @@ pub mod channel {
         /// Sends `msg`, blocking while a bounded channel is full. Fails only
         /// when every receiver has been dropped.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            #[cfg(feature = "sim")]
+            if dude_sim::on_sim_task() {
+                return self.send_sim(msg);
+            }
             let mut st = self.shared.state.lock().expect("channel lock");
             loop {
                 if st.receivers == 0 {
@@ -175,10 +206,41 @@ pub mod channel {
             Ok(())
         }
 
+        /// Simulated-scheduler send: a nonblocking-check/park loop, so the
+        /// task parks on the virtual scheduler (not a native condvar) while
+        /// the channel is full.
+        #[cfg(feature = "sim")]
+        fn send_sim(&self, msg: T) -> Result<(), SendError<T>> {
+            dude_sim::yield_point(dude_sim::YieldKind::Chan);
+            let mut msg = Some(msg);
+            loop {
+                {
+                    let mut st = self.shared.state.lock().expect("channel lock");
+                    if st.receivers == 0 {
+                        return Err(SendError(msg.take().expect("message pending")));
+                    }
+                    if self.shared.cap.is_none_or(|cap| st.queue.len() < cap) {
+                        st.queue.push_back(msg.take().expect("message pending"));
+                        drop(st);
+                        self.shared.not_empty.notify_one();
+                        dude_sim::wake_all();
+                        return Ok(());
+                    }
+                }
+                dude_sim::block(dude_sim::YieldKind::Chan);
+            }
+        }
+
         /// Sends `msg` without blocking: fails with [`TrySendError::Full`]
         /// when a bounded channel is at capacity (returning the message),
         /// letting callers observe backpressure instead of waiting it out.
         pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            #[cfg(feature = "sim")]
+            let on_sim = dude_sim::on_sim_task();
+            #[cfg(feature = "sim")]
+            if on_sim {
+                dude_sim::yield_point(dude_sim::YieldKind::Chan);
+            }
             let mut st = self.shared.state.lock().expect("channel lock");
             if st.receivers == 0 {
                 return Err(TrySendError::Disconnected(msg));
@@ -189,17 +251,24 @@ pub mod channel {
                 }
             }
             st.queue.push_back(msg);
+            drop(st);
             self.shared.not_empty.notify_one();
+            #[cfg(feature = "sim")]
+            if on_sim {
+                dude_sim::wake_all();
+            }
             Ok(())
         }
     }
 
     impl<T> Receiver<T> {
-        /// Receives without blocking.
-        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        /// Pops a message if one is ready, reporting disconnect; shared by
+        /// the native and simulated paths. Wakes native senders on success.
+        fn pop_ready(&self) -> Result<T, TryRecvError> {
             let mut st = self.shared.state.lock().expect("channel lock");
             match st.queue.pop_front() {
                 Some(msg) => {
+                    drop(st);
                     self.shared.not_full.notify_one();
                     Ok(msg)
                 }
@@ -208,8 +277,57 @@ pub mod channel {
             }
         }
 
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            #[cfg(feature = "sim")]
+            let on_sim = dude_sim::on_sim_task();
+            #[cfg(feature = "sim")]
+            if on_sim {
+                dude_sim::yield_point(dude_sim::YieldKind::Chan);
+            }
+            let res = self.pop_ready();
+            #[cfg(feature = "sim")]
+            if on_sim && res.is_ok() {
+                dude_sim::wake_all();
+            }
+            res
+        }
+
+        /// Simulated-scheduler receive: parks on the virtual scheduler
+        /// until a message, disconnect, or (optionally) a virtual-clock
+        /// deadline.
+        #[cfg(feature = "sim")]
+        fn recv_sim(&self, deadline_ns: Option<u64>) -> Result<T, RecvTimeoutError> {
+            dude_sim::yield_point(dude_sim::YieldKind::Chan);
+            loop {
+                match self.pop_ready() {
+                    Ok(msg) => {
+                        dude_sim::wake_all();
+                        return Ok(msg);
+                    }
+                    Err(TryRecvError::Disconnected) => return Err(RecvTimeoutError::Disconnected),
+                    Err(TryRecvError::Empty) => {}
+                }
+                match deadline_ns {
+                    Some(d) => {
+                        if dude_sim::now_ns() >= d {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        dude_sim::block_until(d, dude_sim::YieldKind::Chan);
+                    }
+                    None => dude_sim::block(dude_sim::YieldKind::Chan),
+                }
+            }
+        }
+
         /// Receives, blocking up to `timeout`.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            #[cfg(feature = "sim")]
+            if dude_sim::on_sim_task() {
+                let deadline = dude_sim::now_ns()
+                    .saturating_add(u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX));
+                return self.recv_sim(Some(deadline));
+            }
             let deadline = Instant::now() + timeout;
             let mut st = self.shared.state.lock().expect("channel lock");
             loop {
@@ -235,6 +353,13 @@ pub mod channel {
 
         /// Receives, blocking until a message arrives or all senders drop.
         pub fn recv(&self) -> Result<T, RecvError> {
+            #[cfg(feature = "sim")]
+            if dude_sim::on_sim_task() {
+                return match self.recv_sim(None) {
+                    Ok(msg) => Ok(msg),
+                    Err(_) => Err(RecvError),
+                };
+            }
             let mut st = self.shared.state.lock().expect("channel lock");
             loop {
                 if let Some(msg) = st.queue.pop_front() {

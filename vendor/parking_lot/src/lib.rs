@@ -6,6 +6,13 @@
 //! implemented over `std::sync` with parking_lot's non-poisoning
 //! semantics: a panic while holding a lock does not poison it for later
 //! users.
+//!
+//! Under `cfg(feature = "sim")` every acquisition becomes a yield point
+//! of the `dude-sim` virtual scheduler (blocking waits turn into
+//! try-lock/park loops, so a simulated task never blocks natively on a
+//! lock held by a parked task), and every guard drop wakes the
+//! scheduler's event waiters. Threads outside a simulated run keep the
+//! native paths.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -40,6 +47,23 @@ impl<T> Mutex<T> {
 impl<T> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "sim")]
+        if dude_sim::on_sim_task() {
+            dude_sim::yield_point(dude_sim::YieldKind::Lock);
+            loop {
+                match self.inner.try_lock() {
+                    Ok(g) => return MutexGuard { inner: g },
+                    Err(std::sync::TryLockError::Poisoned(p)) => {
+                        return MutexGuard {
+                            inner: p.into_inner(),
+                        }
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        dude_sim::block(dude_sim::YieldKind::Lock);
+                    }
+                }
+            }
+        }
         let inner = match self.inner.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
@@ -49,6 +73,10 @@ impl<T> Mutex<T> {
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        #[cfg(feature = "sim")]
+        if dude_sim::on_sim_task() {
+            dude_sim::yield_point(dude_sim::YieldKind::Lock);
+        }
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard { inner: g }),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
@@ -64,6 +92,16 @@ impl<T> Mutex<T> {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
+    }
+}
+
+/// Releasing a lock is a scheduler event: parked acquirers re-try.
+#[cfg(feature = "sim")]
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // The inner std guard drops right after this body, before any
+        // other simulated task can run (one task at a time).
+        dude_sim::wake_all();
     }
 }
 
@@ -126,6 +164,23 @@ impl<T> RwLock<T> {
 impl<T> RwLock<T> {
     /// Acquires shared read access, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "sim")]
+        if dude_sim::on_sim_task() {
+            dude_sim::yield_point(dude_sim::YieldKind::Lock);
+            loop {
+                match self.inner.try_read() {
+                    Ok(g) => return RwLockReadGuard { inner: g },
+                    Err(std::sync::TryLockError::Poisoned(p)) => {
+                        return RwLockReadGuard {
+                            inner: p.into_inner(),
+                        }
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        dude_sim::block(dude_sim::YieldKind::Lock);
+                    }
+                }
+            }
+        }
         let inner = match self.inner.read() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
@@ -135,6 +190,24 @@ impl<T> RwLock<T> {
 
     /// Acquires exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "sim")]
+        if dude_sim::on_sim_task() {
+            dude_sim::yield_point(dude_sim::YieldKind::Lock);
+            let inner = loop {
+                match self.inner.try_write() {
+                    Ok(g) => break g,
+                    Err(std::sync::TryLockError::Poisoned(p)) => break p.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        dude_sim::block(dude_sim::YieldKind::Lock);
+                    }
+                }
+            };
+            self.writer_active.store(true, Ordering::Release);
+            return RwLockWriteGuard {
+                inner: Some(inner),
+                writer_active: &self.writer_active,
+            };
+        }
         let inner = match self.inner.write() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
@@ -148,6 +221,10 @@ impl<T> RwLock<T> {
 
     /// Attempts shared read access without blocking.
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        #[cfg(feature = "sim")]
+        if dude_sim::on_sim_task() {
+            dude_sim::yield_point(dude_sim::YieldKind::Lock);
+        }
         match self.inner.try_read() {
             Ok(g) => Some(RwLockReadGuard { inner: g }),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
@@ -155,6 +232,14 @@ impl<T> RwLock<T> {
             }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
+    }
+}
+
+/// Releasing a read lock is a scheduler event: parked writers re-try.
+#[cfg(feature = "sim")]
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        dude_sim::wake_all();
     }
 }
 
@@ -182,6 +267,8 @@ impl<T> Drop for RwLockWriteGuard<'_, T> {
     fn drop(&mut self) {
         self.writer_active.store(false, Ordering::Release);
         self.inner = None;
+        #[cfg(feature = "sim")]
+        dude_sim::wake_all();
     }
 }
 
