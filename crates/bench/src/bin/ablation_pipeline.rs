@@ -1,458 +1,12 @@
-//! Ablation study of the decoupled pipeline's design knobs (extension —
-//! the per-knob sensitivity behind the paper's design choices):
+//! Legacy shim: runs the five ablation specs from the experiment registry.
 //!
-//! * **volatile log buffer size** — the paper argues Perform "rarely
-//!   blocks" (Finding 2); shrinking the buffer should show when that stops
-//!   being true;
-//! * **number of Persist threads** — the paper claims "typically one is
-//!   enough" (§3.3);
-//! * **Reproduce checkpoint cadence** — recycling frequency trades fences
-//!   against log-space pressure;
-//! * **Reproduce shard workers** — drain throughput of the
-//!   conflict-sharded Reproduce stage on a write-heavy backlog, the knob
-//!   that lifts the pipeline's single-threaded drain ceiling;
-//! * **Persist flush workers** — drain throughput of the parallel grouped
-//!   Persist stage (sequencer + N out-of-order flush workers) on a
-//!   PCM-latency device, where the per-group fence is the stage's cost and
-//!   overlapping fences across workers is the win.
-//!
-//! `--section <n>` runs a single section (1–5); the default runs all.
-
-use dude_bench::report::fmt_tps;
-use dude_bench::{
-    quick_flag, run_combo, section_flag, trace_out_flag, BenchEnv, SystemKind, Table, WorkloadKind,
-};
-use dudetm::{DurabilityMode, TraceConfig};
-
-/// Extra columns for sections 2–4: commit-latency and persist-barrier
-/// percentiles in microseconds, or dashes when the layer is off (so the
-/// CSV schema is stable across traced and untraced runs).
-const LATENCY_HEADERS: [&str; 6] = [
-    "commit p50 (us)",
-    "commit p95 (us)",
-    "commit p99 (us)",
-    "barrier p50 (us)",
-    "barrier p95 (us)",
-    "barrier p99 (us)",
-];
-
-fn latency_cols(trace: &dudetm::Trace) -> Vec<String> {
-    if !trace.enabled() {
-        return vec!["-".to_string(); 6];
-    }
-    let us = |v: u64| format!("{:.2}", v as f64 / 1000.0);
-    let c = trace.commit_latency_ns.snapshot();
-    let b = trace.persist_barrier_ns.snapshot();
-    vec![
-        us(c.p50()),
-        us(c.p95()),
-        us(c.p99()),
-        us(b.p50()),
-        us(b.p95()),
-        us(b.p99()),
-    ]
-}
+//! `--section <n>` maps to one spec (1 = `ablation_vlog`,
+//! 2 = `ablation_persist_threads`, 3 = `ablation_checkpoint_cadence`,
+//! 4 = `ablation_reproduce_shards`, 5 = `ablation_flush_workers`); the
+//! default runs all five. `--quick` and `--trace-out` keep their old
+//! meaning. The experiments themselves live in `dude_bench::registry` and
+//! are driven by `dude-bench run <spec>`.
 
 fn main() {
-    let quick = quick_flag();
-    let section = section_flag();
-    let run_section = |n: u32| section.is_none() || section == Some(n);
-    let base = BenchEnv::from_quick(quick);
-    let workload = WorkloadKind::TpccHash;
-    let trace_out = trace_out_flag();
-    // 64 Ki records is enough to keep the tail of a quick run; overflow is
-    // reported in the export rather than silently truncated.
-    let trace_cfg = if trace_out.is_some() {
-        TraceConfig::enabled(64 * 1024)
-    } else {
-        TraceConfig::disabled()
-    };
-    // The traced run whose JSON export lands in `--trace-out` (the last
-    // traced run of the binary — the largest shard-drain configuration).
-    let mut last_trace_json: Option<String> = None;
-
-    // 1. Volatile log buffer size.
-    if run_section(1) {
-        let mut table = Table::new(
-            "Ablation — volatile log buffer size (TPC-C hash, DudeTM)",
-            &["buffer (txns/thread)", "throughput"],
-        );
-        let sizes: &[usize] = if quick {
-            &[16, 16_384]
-        } else {
-            &[4, 64, 1_024, 16_384]
-        };
-        for &buffer in sizes {
-            let mut env = base;
-            env.durability = DurabilityMode::Async {
-                buffer_txns: buffer,
-            };
-            let cell = run_combo(SystemKind::Dude, workload, &env);
-            table.push(vec![buffer.to_string(), fmt_tps(cell.run.throughput)]);
-        }
-        table.print();
-        table.save_csv("bench_results");
-    }
-
-    // 2. Persist thread count. (On this single-CPU host, more persist
-    // threads can only add scheduling overhead — the interesting direction
-    // is that one thread does NOT become a bottleneck.)
-    if run_section(2) {
-        let mut headers = vec!["persist threads", "throughput"];
-        headers.extend(LATENCY_HEADERS);
-        let mut table = Table::new("Ablation — persist threads (TPC-C hash, DudeTM)", &headers);
-        // `BenchEnv` pins one persist thread; emulate the sweep via config by
-        // reusing run_combo with modified env is not wired for this knob, so
-        // construct directly.
-        for &threads in if quick {
-            &[1usize, 2][..]
-        } else {
-            &[1usize, 2, 4][..]
-        } {
-            use dude_workloads::driver::RunConfig;
-            let env = base;
-            let nvm = std::sync::Arc::new(dude_nvm::Nvm::new(dude_nvm::NvmConfig::for_benchmark(
-                env.device_bytes(),
-                dude_nvm::TimingConfig::paper_default(),
-            )));
-            let config = dudetm::DudeTmConfig {
-                heap_bytes: env.heap_bytes,
-                plog_bytes_per_thread: env.plog_bytes,
-                max_threads: env.threads + 4,
-                durability: env.durability,
-                persist_threads: threads,
-                persist_group: 1,
-                persist_flush_workers: 1,
-                compress_groups: false,
-                checkpoint_every: 64,
-                reproduce_threads: 1,
-                shadow: dudetm::ShadowConfig::Identity,
-                trace: trace_cfg,
-            };
-            let sys = dudetm::DudeTm::create_stm(nvm, dude_bench::systems::checked(config));
-            let w = dude_bench::workloads::build_workload(workload, &env);
-            dude_workloads::driver::load_workload(&sys, w.as_ref());
-            let stats = dude_workloads::driver::run_fixed_ops(
-                &sys,
-                w.as_ref(),
-                RunConfig {
-                    threads: env.threads,
-                    seed: env.seed,
-                    latency: env.latency_mode,
-                },
-                env.ops_per_thread(),
-            );
-            sys.quiesce();
-            // The lag surface: after quiesce the three watermarks coincide and
-            // the snapshot shows what the run put through each stage.
-            println!(
-                "  pipeline [{threads} persist threads]: {}",
-                sys.stats_snapshot().summary()
-            );
-            let mut row = vec![threads.to_string(), fmt_tps(stats.throughput)];
-            row.extend(latency_cols(sys.trace()));
-            if trace_cfg.enabled {
-                last_trace_json = Some(sys.trace().to_json());
-            }
-            table.push(row);
-        }
-        table.print();
-        table.save_csv("bench_results");
-    }
-
-    // 3. Checkpoint cadence.
-    if run_section(3) {
-        let mut headers = vec!["checkpoint every (txns)", "throughput"];
-        headers.extend(LATENCY_HEADERS);
-        let mut table = Table::new(
-            "Ablation — reproduce checkpoint cadence (TPC-C hash, DudeTM)",
-            &headers,
-        );
-        for &every in if quick {
-            &[8u64, 512][..]
-        } else {
-            &[1u64, 8, 64, 512][..]
-        } {
-            use dude_workloads::driver::RunConfig;
-            let env = base;
-            let nvm = std::sync::Arc::new(dude_nvm::Nvm::new(dude_nvm::NvmConfig::for_benchmark(
-                env.device_bytes(),
-                dude_nvm::TimingConfig::paper_default(),
-            )));
-            let config = dudetm::DudeTmConfig {
-                heap_bytes: env.heap_bytes,
-                plog_bytes_per_thread: env.plog_bytes,
-                max_threads: env.threads + 4,
-                durability: env.durability,
-                persist_threads: 1,
-                persist_group: 1,
-                persist_flush_workers: 1,
-                compress_groups: false,
-                checkpoint_every: every,
-                reproduce_threads: 1,
-                shadow: dudetm::ShadowConfig::Identity,
-                trace: trace_cfg,
-            };
-            let sys = dudetm::DudeTm::create_stm(nvm, dude_bench::systems::checked(config));
-            let w = dude_bench::workloads::build_workload(workload, &env);
-            dude_workloads::driver::load_workload(&sys, w.as_ref());
-            let stats = dude_workloads::driver::run_fixed_ops(
-                &sys,
-                w.as_ref(),
-                RunConfig {
-                    threads: env.threads,
-                    seed: env.seed,
-                    latency: env.latency_mode,
-                },
-                env.ops_per_thread(),
-            );
-            sys.quiesce();
-            let mut row = vec![every.to_string(), fmt_tps(stats.throughput)];
-            row.extend(latency_cols(sys.trace()));
-            if trace_cfg.enabled {
-                last_trace_json = Some(sys.trace().to_json());
-            }
-            table.push(row);
-        }
-        table.print();
-        table.save_csv("bench_results");
-    }
-
-    // 4. Reproduce shard workers: drain throughput of a write-heavy
-    // backlog. Perform runs ahead with an unbounded buffer while Reproduce
-    // lags (its scattered replay pays a full cache line per word, where
-    // Persist streams contiguous log bytes); the measurement clocks how
-    // fast each shard count drains the backlog left at the end of the
-    // commit burst. Shard workers wait out modeled NVM delays in parallel
-    // wall-clock windows, so the drain rate scales with N until the
-    // Persist stage becomes the ceiling.
-    if run_section(4) {
-        let mut headers = vec!["reproduce threads", "drain throughput", "speedup"];
-        headers.extend(LATENCY_HEADERS);
-        let mut table = Table::new(
-            "Ablation — reproduce shard workers (write-heavy drain, DudeTM-Inf)",
-            &headers,
-        );
-        let ops: u64 = if quick { 1_500 } else { 6_000 };
-        let mut serial_rate = None;
-        for &rt in if quick {
-            &[1usize, 4][..]
-        } else {
-            &[1usize, 2, 4, 8][..]
-        } {
-            use dude_txapi::{PAddr, TxnSystem, TxnThread};
-            let env = base;
-            // Write-heavy: replay bandwidth, not barrier latency, must gate the
-            // drain — model a quarter of the paper's bandwidth so the backlog
-            // builds even in quick mode.
-            let timing = dude_nvm::TimingConfig {
-                bandwidth_bytes_per_sec: 256 << 20,
-                ..dude_nvm::TimingConfig::paper_default()
-            };
-            let nvm = std::sync::Arc::new(dude_nvm::Nvm::new(dude_nvm::NvmConfig::for_benchmark(
-                env.device_bytes(),
-                timing,
-            )));
-            let config = dudetm::DudeTmConfig {
-                heap_bytes: env.heap_bytes,
-                plog_bytes_per_thread: env.plog_bytes,
-                max_threads: env.threads + 4,
-                durability: dudetm::DurabilityMode::AsyncUnbounded,
-                persist_threads: 1,
-                persist_group: 1,
-                persist_flush_workers: 1,
-                compress_groups: false,
-                checkpoint_every: 64,
-                reproduce_threads: rt,
-                shadow: dudetm::ShadowConfig::Identity,
-                trace: trace_cfg,
-            };
-            let sys = dudetm::DudeTm::create_stm(nvm, dude_bench::systems::checked(config));
-            let lines = env.heap_bytes / 64;
-            {
-                let mut t = sys.register_thread();
-                let mut x = env.seed | 1;
-                for _ in 0..ops {
-                    t.run(&mut |tx| {
-                        // 32 scattered words, one per cache line.
-                        for _ in 0..32 {
-                            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                            let line = (x >> 17) % lines;
-                            tx.write_word(PAddr::from_word_index(line * 8), x)?;
-                        }
-                        Ok(())
-                    });
-                }
-            }
-            let committed = sys.stats_snapshot().committed;
-            let backlog_from = sys.reproduced_id();
-            let start = std::time::Instant::now();
-            sys.quiesce();
-            let secs = start.elapsed().as_secs_f64().max(1e-9);
-            let drained = committed - backlog_from;
-            let rate = drained as f64 / secs;
-            let speedup = match serial_rate {
-                None => {
-                    serial_rate = Some(rate);
-                    "1.00x".to_string()
-                }
-                Some(base_rate) => format!("{:.2}x", rate / base_rate),
-            };
-            println!(
-                "  drain [{rt} reproduce threads]: backlog {drained} txns in {:.1} ms; {}",
-                secs * 1e3,
-                sys.stats_snapshot().summary()
-            );
-            let mut row = vec![rt.to_string(), fmt_tps(rate), speedup];
-            row.extend(latency_cols(sys.trace()));
-            if trace_cfg.enabled {
-                last_trace_json = Some(sys.trace().to_json());
-            }
-            table.push(row);
-        }
-        table.print();
-        table.save_csv("bench_results");
-    }
-
-    // 5. Persist flush workers: drain throughput of the parallel grouped
-    // Persist stage on a write-heavy backlog. Group size 8 with PCM-class
-    // barrier latency (3500 cycles, §5.1) and bandwidth scaled further
-    // down than section 4 (64 MB/s) so the modeled medium — not this
-    // container's core — gates the drain: each group's write+fence
-    // barrier costs real modeled wall time. One flush worker pays those
-    // barriers back-to-back; N workers overlap them while the publication
-    // gate keeps durability in dense TID order. Reproduce runs 4 shards
-    // so the drain ceiling is Persist's. The clock covers the quiesce
-    // drain of the backlog the commit burst left behind (a faster Persist
-    // also lags less during the burst, so its backlog is smaller — the
-    // rate, not the absolute time, is the comparable number). The
-    // observability layer is always on here (uniform overhead across
-    // rows) to report the per-group barrier percentiles that explain the
-    // throughput column.
-    if run_section(5) {
-        use dude_txapi::{PAddr, TxnSystem, TxnThread};
-        let mut table = Table::new(
-            "Ablation — persist flush workers (write-heavy drain, group=8, DudeTM-Inf, PCM latency)",
-            &[
-                "flush workers",
-                "compress",
-                "throughput",
-                "speedup",
-                "barrier p50 (us)",
-                "barrier p95 (us)",
-                "barrier p99 (us)",
-            ],
-        );
-        let section_trace = TraceConfig::enabled(64 * 1024);
-        let ops: u64 = if quick { 2_000 } else { 8_000 };
-        let workers: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4] };
-        let compress_axis: &[bool] = if quick { &[false] } else { &[false, true] };
-        let repeats: usize = if quick { 1 } else { 3 };
-        for &compress in compress_axis {
-            let mut serial_rate = None;
-            for &fw in workers {
-                // Median of `repeats` runs: a single shared core makes any
-                // one drain noisy, and this cell is the section's claim.
-                let mut runs: Vec<(f64, u64, u64, u64)> = Vec::new();
-                for rep in 0..repeats {
-                    let env = base;
-                    let timing = dude_nvm::TimingConfig {
-                        bandwidth_bytes_per_sec: 64 << 20,
-                        ..dude_nvm::TimingConfig::paper_default().with_latency_cycles(3500)
-                    };
-                    let nvm = std::sync::Arc::new(dude_nvm::Nvm::new(
-                        dude_nvm::NvmConfig::for_benchmark(env.device_bytes(), timing),
-                    ));
-                    let config = dudetm::DudeTmConfig {
-                        heap_bytes: env.heap_bytes,
-                        plog_bytes_per_thread: env.plog_bytes,
-                        max_threads: env.threads + 4,
-                        durability: dudetm::DurabilityMode::AsyncUnbounded,
-                        persist_threads: 1,
-                        persist_group: 8,
-                        persist_flush_workers: fw,
-                        compress_groups: compress,
-                        checkpoint_every: 64,
-                        reproduce_threads: 4,
-                        shadow: dudetm::ShadowConfig::Identity,
-                        trace: section_trace,
-                    };
-                    let sys = dudetm::DudeTm::create_stm(nvm, dude_bench::systems::checked(config));
-                    let lines = env.heap_bytes / 64;
-                    // Four Perform threads: the volatile burst outruns every
-                    // Persist configuration, so each row's drain starts from
-                    // a near-identical backlog and the rates are comparable.
-                    std::thread::scope(|scope| {
-                        for p in 0..4u64 {
-                            let sys = &sys;
-                            scope.spawn(move || {
-                                let mut t = sys.register_thread();
-                                let mut x =
-                                    (env.seed | 1) ^ (p + rep as u64).wrapping_mul(0x9E37_79B9);
-                                for _ in 0..ops / 4 {
-                                    t.run(&mut |tx| {
-                                        // 32 scattered words, one per cache line.
-                                        for _ in 0..32 {
-                                            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                                            let line = (x >> 17) % lines;
-                                            tx.write_word(PAddr::from_word_index(line * 8), x)?;
-                                        }
-                                        Ok(())
-                                    });
-                                }
-                            });
-                        }
-                    });
-                    let committed = sys.stats_snapshot().committed;
-                    let backlog = committed - sys.reproduced_id();
-                    let start = std::time::Instant::now();
-                    sys.quiesce();
-                    let secs = start.elapsed().as_secs_f64().max(1e-9);
-                    let rate = backlog as f64 / secs;
-                    println!(
-                        "  drain [{fw} flush workers, lz={compress}, rep {rep}]: {backlog} of \
-                         {committed} txns backlogged at burst end, drained in {:.1} ms; {}",
-                        secs * 1e3,
-                        sys.stats_snapshot().summary()
-                    );
-                    let b = sys.trace().persist_barrier_ns.snapshot();
-                    runs.push((rate, b.p50(), b.p95(), b.p99()));
-                    if trace_cfg.enabled {
-                        last_trace_json = Some(sys.trace().to_json());
-                    }
-                }
-                runs.sort_by(|a, b| a.0.total_cmp(&b.0));
-                let (rate, p50, p95, p99) = runs[runs.len() / 2];
-                let speedup = match serial_rate {
-                    None => {
-                        serial_rate = Some(rate);
-                        "1.00x".to_string()
-                    }
-                    Some(base_rate) => format!("{:.2}x", rate / base_rate),
-                };
-                let us = |v: u64| format!("{:.2}", v as f64 / 1000.0);
-                table.push(vec![
-                    fw.to_string(),
-                    if compress { "lz" } else { "off" }.to_string(),
-                    fmt_tps(rate),
-                    speedup,
-                    us(p50),
-                    us(p95),
-                    us(p99),
-                ]);
-            }
-        }
-        table.print();
-        table.save_csv("bench_results");
-    }
-
-    if let Some(path) = trace_out {
-        match last_trace_json {
-            Some(json) => match std::fs::write(&path, json) {
-                Ok(()) => println!("[trace] chrome://tracing JSON written to {path}"),
-                Err(e) => eprintln!("[trace] failed to write {path}: {e}"),
-            },
-            None => eprintln!("[trace] no traced run produced output"),
-        }
-    }
+    dude_bench::runner::legacy_main("ablation_pipeline");
 }

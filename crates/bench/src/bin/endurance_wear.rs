@@ -1,96 +1,9 @@
-//! Endurance study (extension): NVM cell wear with and without log
-//! combination.
+//! Legacy shim: runs the `endurance` spec from the experiment registry.
 //!
-//! The paper motivates log combination with NVM's limited write endurance
-//! (§1, §3.3: "significantly reduce the amount of writes to persistent
-//! memory, whose endurance is much lower than DRAM"), but only reports
-//! write *volume*. This experiment measures the wear metric that actually
-//! kills devices — flushes of the **hottest cache line** — under the
-//! skewed YCSB workload, with combination off and at increasing group
-//! sizes.
-//!
-//! Expected shape: combination collapses repeated writes of hot addresses
-//! into one flush per group, so the hottest *data-region* line's wear drops
-//! roughly in proportion to the combination savings, while the log region's
-//! wear is spread by the ring structure.
-
-use std::sync::Arc;
-
-use dude_bench::{quick_flag, BenchEnv, Table, WorkloadKind};
-use dude_nvm::{Nvm, NvmConfig, TimingConfig};
-use dude_workloads::driver::{load_workload, run_fixed_ops, RunConfig};
-use dudetm::{DudeTm, DudeTmConfig};
+//! Kept so existing invocations (`cargo run --bin endurance_wear [--quick]`)
+//! keep working; the experiment itself lives in
+//! `dude_bench::registry` and is driven by `dude-bench run endurance`.
 
 fn main() {
-    let quick = quick_flag();
-    let env = BenchEnv::from_quick(quick);
-    let groups: &[usize] = if quick {
-        &[1, 100]
-    } else {
-        &[1, 10, 100, 1_000]
-    };
-
-    let mut table = Table::new(
-        "Endurance — line wear vs log combination (YCSB, zipf 0.99)",
-        &[
-            "group size",
-            "max line wear",
-            "total line flushes",
-            "lines touched",
-            "throughput",
-        ],
-    );
-    for &group in groups {
-        let timing = TimingConfig {
-            latency_ns: TimingConfig::cycles_to_ns(env.latency_cycles),
-            bandwidth_bytes_per_sec: env.bandwidth_gb << 30,
-            enabled: true,
-        };
-        let nvm = Arc::new(Nvm::new(
-            NvmConfig::for_benchmark(env.device_bytes(), timing).with_wear_tracking(),
-        ));
-        let config = DudeTmConfig {
-            heap_bytes: env.heap_bytes,
-            plog_bytes_per_thread: env.plog_bytes,
-            max_threads: env.threads + 4,
-            durability: env.durability,
-            persist_threads: 1,
-            persist_group: group,
-            persist_flush_workers: 1,
-            compress_groups: group > 1,
-            checkpoint_every: 64,
-            reproduce_threads: 1,
-            shadow: dudetm::ShadowConfig::Identity,
-            trace: dudetm::TraceConfig::disabled(),
-        };
-        let sys = DudeTm::create_stm(Arc::clone(&nvm), dude_bench::systems::checked(config));
-        let w = dude_bench::workloads::build_workload(WorkloadKind::Ycsb { theta: 0.99 }, &env);
-        load_workload(&sys, w.as_ref());
-        nvm.wear_reset();
-        let stats = run_fixed_ops(
-            &sys,
-            w.as_ref(),
-            RunConfig {
-                threads: env.threads,
-                seed: env.seed,
-                latency: env.latency_mode,
-            },
-            env.ops_per_thread(),
-        );
-        sys.quiesce();
-        let wear = nvm.wear_summary().expect("wear enabled");
-        table.push(vec![
-            if group == 1 {
-                "1 (off)".into()
-            } else {
-                group.to_string()
-            },
-            wear.max_line_writes.to_string(),
-            wear.total_line_writes.to_string(),
-            wear.lines_touched.to_string(),
-            dude_bench::report::fmt_tps(stats.throughput),
-        ]);
-    }
-    table.print();
-    table.save_csv("bench_results");
+    dude_bench::runner::legacy_main("endurance_wear");
 }

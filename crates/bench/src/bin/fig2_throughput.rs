@@ -1,81 +1,9 @@
-//! Figure 2: throughput of Volatile-STM, DudeTM, DudeTM-Inf and
-//! DudeTM-Sync across NVM bandwidths, for all six benchmarks.
+//! Legacy shim: runs the `fig2` spec from the experiment registry.
 //!
-//! The paper sweeps 1–16 GB/s at 1000-cycle persist latency (DudeTM-Sync is
-//! also shown at 3500 cycles; we add that series). Expected shape: the
-//! decoupled variants sit a little below Volatile-STM and are insensitive
-//! to bandwidth; DudeTM-Sync starts well below at 1 GB/s and climbs with
-//! bandwidth; DudeTM ≈ DudeTM-Inf throughout (log flushing is not the
-//! bottleneck — Finding 2).
-
-use dude_bench::report::fmt_tps;
-use dude_bench::{quick_flag, run_combo, BenchEnv, SystemKind, Table, WorkloadKind};
+//! Kept so existing invocations (`cargo run --bin fig2_throughput [--quick]`)
+//! keep working; the experiment itself lives in
+//! `dude_bench::registry` and is driven by `dude-bench run fig2`.
 
 fn main() {
-    let quick = quick_flag();
-    let base = BenchEnv::from_quick(quick);
-    let bandwidths: &[u64] = if quick { &[1, 8] } else { &[1, 4, 8, 16] };
-    let workloads = [
-        WorkloadKind::HashTable,
-        WorkloadKind::BTree,
-        WorkloadKind::TpccBTree,
-        WorkloadKind::TpccHash,
-        WorkloadKind::TatpBTree,
-        WorkloadKind::TatpHash,
-    ];
-    let systems = [
-        SystemKind::VolatileStm,
-        SystemKind::Dude,
-        SystemKind::DudeInf,
-        SystemKind::DudeSync,
-    ];
-
-    for workload in workloads {
-        let mut table = Table::new(
-            &format!(
-                "Figure 2 — {} throughput vs NVM bandwidth",
-                workload.label()
-            ),
-            &["system", "1 GB/s", "4 GB/s", "8 GB/s", "16 GB/s"],
-        );
-        for system in systems {
-            let mut row = vec![system.label().to_string()];
-            for &bw in &[1u64, 4, 8, 16] {
-                if !bandwidths.contains(&bw) {
-                    row.push("-".into());
-                    continue;
-                }
-                // Volatile systems do not touch NVM; measure them once.
-                if system == SystemKind::VolatileStm && bw != bandwidths[0] {
-                    row.push("(same)".into());
-                    continue;
-                }
-                let env = base.with_bandwidth(bw);
-                let cell = run_combo(system, workload, &env);
-                row.push(fmt_tps(cell.run.throughput));
-            }
-            table.push(row);
-        }
-        table.print();
-        table.save_csv("bench_results");
-    }
-    // DudeTM-Sync at the paper's PCM-class 3500-cycle latency (the latency
-    // sensitivity the paper highlights for short transactions).
-    let mut table = Table::new(
-        "Figure 2 (aux) — DudeTM-Sync at 3500-cycle latency, 1 GB/s",
-        &["benchmark", "sync @1000cyc", "sync @3500cyc"],
-    );
-    for workload in [WorkloadKind::TatpHash, WorkloadKind::TpccHash] {
-        let fast = run_combo(SystemKind::DudeSync, workload, &base);
-        let mut slow_env = base;
-        slow_env.latency_cycles = 3500;
-        let slow = run_combo(SystemKind::DudeSync, workload, &slow_env);
-        table.push(vec![
-            workload.label(),
-            fmt_tps(fast.run.throughput),
-            fmt_tps(slow.run.throughput),
-        ]);
-    }
-    table.print();
-    table.save_csv("bench_results");
+    dude_bench::runner::legacy_main("fig2_throughput");
 }

@@ -1,63 +1,9 @@
-//! Figure 3: NVM writes saved by cross-transaction log combination and log
-//! compression, as a function of the persist group size.
+//! Legacy shim: runs the `fig3` spec from the experiment registry.
 //!
-//! Workload: YCSB session store (B+-tree KV, 10 K records, 50/50
-//! read/update, Zipfian 0.99), per §5.4. Expected shape: combination saves
-//! a few percent at group size 10 and grows steeply with group size (the
-//! paper reaches 93 % at 100 000-transaction groups); compression achieves
-//! a stable ~69 % payload reduction even for small groups.
-
-use dude_bench::report::fmt_pct;
-use dude_bench::{quick_flag, run_combo, BenchEnv, SystemKind, Table, WorkloadKind};
+//! Kept so existing invocations (`cargo run --bin fig3_logopt [--quick]`)
+//! keep working; the experiment itself lives in
+//! `dude_bench::registry` and is driven by `dude-bench run fig3`.
 
 fn main() {
-    let quick = quick_flag();
-    let base = BenchEnv::from_quick(quick);
-    let groups: &[usize] = if quick {
-        &[10, 100, 1_000]
-    } else {
-        &[10, 100, 1_000, 10_000]
-    };
-    let workload = WorkloadKind::Ycsb { theta: 0.99 };
-
-    let mut table = Table::new(
-        "Figure 3 — log optimization vs group size (YCSB, zipf 0.99)",
-        &[
-            "group size",
-            "entries saved by combination",
-            "payload saved by compression",
-            "total NVM log bytes saved",
-            "throughput impact vs group=1",
-        ],
-    );
-
-    // Baseline: no grouping.
-    let baseline = run_combo(SystemKind::Dude, workload, &base);
-    let base_tps = baseline.run.throughput;
-
-    for &group in groups {
-        let mut env = base;
-        env.persist_group = group;
-        env.compress = true;
-        // Make sure enough transactions flow to fill groups.
-        if env.ops < group as u64 * 20 {
-            env.ops = group as u64 * 20;
-        }
-        let cell = run_combo(SystemKind::Dude, workload, &env);
-        let stats = cell.pipeline.expect("pipeline stats");
-        let combine = stats.combine_savings();
-        let compress = stats.compression_savings();
-        // Total savings: entries dropped by combination, then bytes dropped
-        // by compression of what remains.
-        let total = 1.0 - (1.0 - combine) * (1.0 - compress);
-        table.push(vec![
-            group.to_string(),
-            fmt_pct(combine),
-            fmt_pct(compress),
-            fmt_pct(total),
-            format!("{:+.1}%", (cell.run.throughput / base_tps - 1.0) * 100.0),
-        ]);
-    }
-    table.print();
-    table.save_csv("bench_results");
+    dude_bench::runner::legacy_main("fig3_logopt");
 }

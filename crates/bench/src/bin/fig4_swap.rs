@@ -1,73 +1,9 @@
-//! Figure 4: paging/swap overhead when the shadow memory is smaller than
-//! the persistent working set.
+//! Legacy shim: runs the `fig4` spec from the experiment registry.
 //!
-//! Workload: update-only YCSB over a B+-tree KV store, Zipfian 0.99 and
-//! 1.07 (§5.5), with software- and hardware-style paging. The shadow is
-//! swept from 2× the working set (no pressure) down to 1/8 of it. Expected
-//! shape: throughput falls as the shadow shrinks, falls *faster* for the
-//! less skewed (0.99) distribution, and hardware paging degrades more
-//! steeply than software paging once evictions — and their stop-the-world
-//! TLB shootdowns — become frequent.
-
-use dude_bench::report::fmt_tps;
-use dude_bench::{quick_flag, run_combo_median, BenchEnv, SystemKind, Table, WorkloadKind};
-use dudetm::{PagingMode, ShadowConfig, PAGE_BYTES};
+//! Kept so existing invocations (`cargo run --bin fig4_swap [--quick]`)
+//! keep working; the experiment itself lives in
+//! `dude_bench::registry` and is driven by `dude-bench run fig4`.
 
 fn main() {
-    let quick = quick_flag();
-    let mut base = BenchEnv::from_quick(quick);
-    // Large heap so the tree working set spans many pages; the shadow is
-    // the small side of the experiment.
-    base.heap_bytes = if quick { 64 << 20 } else { 128 << 20 };
-    base.ops = if quick { 6_000 } else { 30_000 };
-    // Working-set estimate: `build_workload` sizes the store at
-    // heap_words/80 records; a ~5-fan-out B+-tree needs ~records/5 nodes of
-    // 144 bytes plus metadata.
-    let records = (base.heap_bytes / 8) / 80;
-    let working_pages = (records / 5 * 144).div_ceil(PAGE_BYTES) + 8;
-    let fractions: &[(f64, &str)] = if quick {
-        &[(2.0, "2x working set"), (0.25, "1/4 working set")]
-    } else {
-        &[
-            (2.0, "2x working set"),
-            (1.0, "1x"),
-            (0.5, "1/2"),
-            (0.25, "1/4"),
-            (0.125, "1/8"),
-        ]
-    };
-
-    for theta in [0.99, 1.07] {
-        let mut table = Table::new(
-            &format!("Figure 4 — swap overhead (YCSB update-only, zipf {theta})"),
-            &[
-                "shadow frames",
-                "software paging",
-                "sw swap-outs",
-                "hardware paging",
-                "hw swap-outs",
-            ],
-        );
-        for &(frac, label) in fractions {
-            let frames = ((working_pages as f64 * frac) as usize).max(64);
-            let mut row = vec![format!("{label} ({frames})")];
-            for mode in [PagingMode::Software, PagingMode::Hardware] {
-                let mut env = base;
-                env.shadow = ShadowConfig::Paged { frames, mode };
-                let cell = run_combo_median(
-                    SystemKind::Dude,
-                    WorkloadKind::YcsbUpdate { theta },
-                    &env,
-                    if quick { 1 } else { 3 },
-                );
-                let shadow = cell.shadow.expect("paged shadow stats");
-                row.push(fmt_tps(cell.run.throughput));
-                row.push(shadow.swap_outs.to_string());
-            }
-            table.push(row);
-        }
-        table.print();
-        table.save_csv("bench_results");
-    }
-    println!("(working set ≈ {working_pages} pages of {PAGE_BYTES} bytes)");
+    dude_bench::runner::legacy_main("fig4_swap");
 }

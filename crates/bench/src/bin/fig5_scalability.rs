@@ -1,63 +1,9 @@
-//! Figure 5: scalability of DudeTM vs Volatile-STM on TPC-C (B+-tree),
-//! 1–8 threads, normalized to one thread; plus the low-conflict
-//! per-district variant whose bottleneck (TinySTM concurrency control) is
-//! removed.
+//! Legacy shim: runs the `fig5` spec from the experiment registry.
 //!
-//! NOTE: this container exposes a single CPU, so absolute speedups cannot
-//! exceed 1× (threads time-slice). The paper's claim is *relative*: DudeTM
-//! scales like the underlying TinySTM (decoupling adds no bottleneck), and
-//! the partitioned variant removes the conflict bottleneck. Both claims
-//! survive time-slicing: compare DudeTM's curve against Volatile-STM's
-//! curve, and compare conflict retries between the contended and
-//! partitioned variants.
-
-use dude_bench::{quick_flag, run_combo_median, BenchEnv, SystemKind, Table, WorkloadKind};
+//! Kept so existing invocations (`cargo run --bin fig5_scalability [--quick]`)
+//! keep working; the experiment itself lives in
+//! `dude_bench::registry` and is driven by `dude-bench run fig5`.
 
 fn main() {
-    let quick = quick_flag();
-    let base = BenchEnv::from_quick(quick);
-    let threads: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
-    let reps = if quick { 1 } else { 3 };
-
-    let mut table = Table::new(
-        "Figure 5 — TPC-C (B+-tree) scaling, normalized to 1 thread",
-        &[
-            "threads",
-            "Volatile-STM",
-            "DudeTM",
-            "DudeTM partitioned",
-            "DudeTM retries/tx",
-            "partitioned retries/tx",
-        ],
-    );
-
-    let mut base_tput: [f64; 3] = [0.0; 3];
-    for &n in threads {
-        let env = base.with_threads(n);
-        let vol = run_combo_median(SystemKind::VolatileStm, WorkloadKind::TpccBTree, &env, reps);
-        let dude = run_combo_median(SystemKind::Dude, WorkloadKind::TpccBTree, &env, reps);
-        let part = run_combo_median(
-            SystemKind::Dude,
-            WorkloadKind::TpccBTreePartitioned,
-            &env,
-            reps,
-        );
-        if n == threads[0] {
-            base_tput = [vol.run.throughput, dude.run.throughput, part.run.throughput];
-        }
-        table.push(vec![
-            n.to_string(),
-            format!("{:.2}x", vol.run.throughput / base_tput[0]),
-            format!("{:.2}x", dude.run.throughput / base_tput[1]),
-            format!("{:.2}x", part.run.throughput / base_tput[2]),
-            format!("{:.3}", dude.run.retry_rate()),
-            format!("{:.3}", part.run.retry_rate()),
-        ]);
-    }
-    table.print();
-    table.save_csv("bench_results");
-    println!(
-        "\n(single-CPU container: compare DudeTM's curve against Volatile-STM's; \
-         absolute multi-thread speedup is not observable here)"
-    );
+    dude_bench::runner::legacy_main("fig5_scalability");
 }

@@ -1,48 +1,9 @@
-//! Table 1: memory-write statistics per benchmark on DudeTM
-//! (1 GB/s NVM, 1000-cycle latency, 4 threads).
+//! Legacy shim: runs the `table1` spec from the experiment registry.
 //!
-//! "# writes" counts the transactional writes that become redo-log entries;
-//! "# writes per tx" divides by committed transactions. Paper values for
-//! the shape check: B+-tree ≈ 15.8 writes/tx, TPC-C (B+-tree) ≈ 183.5,
-//! TATP = 1.0, HashTable = 3.0, TPC-C (hash) ≈ 156.5.
-
-use dude_bench::report::fmt_tps;
-use dude_bench::{quick_flag, run_combo, BenchEnv, SystemKind, Table, WorkloadKind};
+//! Kept so existing invocations (`cargo run --bin table1_writes [--quick]`)
+//! keep working; the experiment itself lives in
+//! `dude_bench::registry` and is driven by `dude-bench run table1`.
 
 fn main() {
-    let env = BenchEnv::from_quick(quick_flag());
-    let workloads = [
-        WorkloadKind::BTree,
-        WorkloadKind::TpccBTree,
-        WorkloadKind::TatpBTree,
-        WorkloadKind::HashTable,
-        WorkloadKind::TpccHash,
-        WorkloadKind::TatpHash,
-    ];
-    let mut table = Table::new(
-        "Table 1 — memory writes (DudeTM, 1 GB/s, 1000 cycles, 4 threads)",
-        &[
-            "benchmark",
-            "# writes/s",
-            "throughput",
-            "# writes per tx",
-            "paper writes/tx",
-        ],
-    );
-    let paper = ["15.8", "183.5", "1.0", "3.0", "156.5", "1.0"];
-    for (workload, paper_wtx) in workloads.into_iter().zip(paper) {
-        let cell = run_combo(SystemKind::Dude, workload, &env);
-        let stats = cell.pipeline.expect("DudeTM exposes pipeline stats");
-        let writes_per_sec = stats.entries_logged as f64 / cell.run.elapsed.as_secs_f64();
-        let writes_per_tx = stats.entries_logged as f64 / stats.commits.max(1) as f64;
-        table.push(vec![
-            workload.label(),
-            format!("{:.1} M/s", writes_per_sec / 1e6),
-            fmt_tps(cell.run.throughput),
-            format!("{writes_per_tx:.1}"),
-            paper_wtx.to_string(),
-        ]);
-    }
-    table.print();
-    table.save_csv("bench_results");
+    dude_bench::runner::legacy_main("table1_writes");
 }

@@ -1,50 +1,9 @@
-//! Table 2: throughput of DudeTM, DudeTM-Sync, Mnemosyne and NVML on all
-//! six benchmarks (1 GB/s, 1000 cycles, 4 threads).
+//! Legacy shim: runs the `table2` spec from the experiment registry.
 //!
-//! Expected shape (paper): DudeTM > DudeTM-Sync > Mnemosyne ≥/≈ NVML, with
-//! DudeTM 1.7×–4.4× over the baselines. NVML runs only the hash-based
-//! benchmarks (static transactions).
-
-use dude_bench::report::fmt_tps;
-use dude_bench::{quick_flag, run_combo, BenchEnv, SystemKind, Table, WorkloadKind};
+//! Kept so existing invocations (`cargo run --bin table2_systems [--quick]`)
+//! keep working; the experiment itself lives in
+//! `dude_bench::registry` and is driven by `dude-bench run table2`.
 
 fn main() {
-    let env = BenchEnv::from_quick(quick_flag());
-    let workloads = [
-        WorkloadKind::BTree,
-        WorkloadKind::TpccBTree,
-        WorkloadKind::TatpBTree,
-        WorkloadKind::HashTable,
-        WorkloadKind::TpccHash,
-        WorkloadKind::TatpHash,
-    ];
-    let mut table = Table::new(
-        "Table 2 — throughput (1 GB/s, 1000 cycles, 4 threads)",
-        &[
-            "benchmark",
-            "DudeTM",
-            "DudeTM-Sync",
-            "Mnemosyne",
-            "NVML",
-            "DudeTM/Mnem.",
-        ],
-    );
-    for workload in workloads {
-        let dude = run_combo(SystemKind::Dude, workload, &env);
-        let sync = run_combo(SystemKind::DudeSync, workload, &env);
-        let mnem = run_combo(SystemKind::Mnemosyne, workload, &env);
-        let nvml = workload
-            .nvml_compatible()
-            .then(|| run_combo(SystemKind::Nvml, workload, &env));
-        table.push(vec![
-            workload.label(),
-            fmt_tps(dude.run.throughput),
-            fmt_tps(sync.run.throughput),
-            fmt_tps(mnem.run.throughput),
-            nvml.map_or("-".into(), |c| fmt_tps(c.run.throughput)),
-            format!("{:.1}x", dude.run.throughput / mnem.run.throughput),
-        ]);
-    }
-    table.print();
-    table.save_csv("bench_results");
+    dude_bench::runner::legacy_main("table2_systems");
 }

@@ -1,61 +1,9 @@
-//! Table 3: durable-transaction latency distribution (50/90/99 percentile)
-//! for the hash-table-based TPC-C benchmark.
+//! Legacy shim: runs the `table3` spec from the experiment registry.
 //!
-//! Latency is measured with the paper's pipelined acknowledgement scheme
-//! (§5.3): transactions run back-to-back and are acknowledged when the
-//! global durable ID passes them. Expected shape: DudeTM-Sync has the
-//! lowest p50 (it waits inline), DudeTM adds moderate extra latency
-//! (~2× its ideal) but beats Mnemosyne and NVML because its throughput is
-//! higher; NVML has the worst latency.
-
-use dude_bench::report::fmt_us;
-use dude_bench::{quick_flag, run_combo, BenchEnv, SystemKind, Table, WorkloadKind};
-use dude_workloads::LatencyMode;
+//! Kept so existing invocations (`cargo run --bin table3_latency [--quick]`)
+//! keep working; the experiment itself lives in
+//! `dude_bench::registry` and is driven by `dude-bench run table3`.
 
 fn main() {
-    let mut env = BenchEnv::from_quick(quick_flag());
-    env.latency_mode = LatencyMode::DurableAck { sample_every: 4 };
-    // A bounded volatile log keeps the durable ID's lag bounded; on this
-    // single-CPU host the Persist thread only runs when Perform threads
-    // yield, so an over-large buffer would let the lag grow to the length
-    // of the whole run (see EXPERIMENTS.md).
-    env.durability = dudetm::DurabilityMode::Async { buffer_txns: 64 };
-    let workload = WorkloadKind::TpccHash;
-    let systems = [
-        SystemKind::Dude,
-        SystemKind::DudeSync,
-        SystemKind::Mnemosyne,
-        SystemKind::Nvml,
-    ];
-    let mut table = Table::new(
-        "Table 3 — durable latency, TPC-C (hash)",
-        &["percentile", "DudeTM", "DudeTM-Sync", "Mnemosyne", "NVML"],
-    );
-    let mut cols = Vec::new();
-    for system in systems {
-        let cell = run_combo(system, workload, &env);
-        cols.push(cell.run.latency.expect("latency sampling enabled"));
-    }
-    for (label, pick) in [("50%", 0usize), ("90%", 1), ("99%", 2)] {
-        let mut row = vec![label.to_string()];
-        for lat in &cols {
-            let v = match pick {
-                0 => lat.p50,
-                1 => lat.p90,
-                _ => lat.p99,
-            };
-            row.push(fmt_us(v));
-        }
-        table.push(row);
-    }
-    table.print();
-    table.save_csv("bench_results");
-    println!(
-        "(samples per system: {:?})",
-        cols.iter().map(|l| l.samples).collect::<Vec<_>>()
-    );
-    println!(
-        "(single-CPU host: DudeTM's lag reflects OS scheduling of the \
-         Persist thread, not pipeline depth — see EXPERIMENTS.md)"
-    );
+    dude_bench::runner::legacy_main("table3_latency");
 }

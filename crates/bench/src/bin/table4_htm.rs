@@ -1,53 +1,9 @@
-//! Table 4: DudeTM on STM vs on (emulated) HTM, with the volatile TM upper
-//! bounds, on B+-tree, HashTable and TATP (B+-tree).
+//! Legacy shim: runs the `table4` spec from the experiment registry.
 //!
-//! Expected shape (paper): HTM beats STM for both the volatile and the
-//! durable configurations (up to 1.7×), B+-tree shows the largest speedup
-//! (bigger transactions benefit most from cheap conflict tracking), and
-//! DudeTM's slowdown relative to its volatile TM stays within ~28 % on
-//! either engine. TPC-C is excluded: its write sets exceed the HTM's
-//! capacity (paper footnote 7) — visible here as capacity aborts.
-
-use dude_bench::report::{fmt_pct, fmt_tps};
-use dude_bench::{quick_flag, run_combo_median, BenchEnv, SystemKind, Table, WorkloadKind};
+//! Kept so existing invocations (`cargo run --bin table4_htm [--quick]`)
+//! keep working; the experiment itself lives in
+//! `dude_bench::registry` and is driven by `dude-bench run table4`.
 
 fn main() {
-    let env = BenchEnv::from_quick(quick_flag());
-    let reps = if quick_flag() { 1 } else { 3 };
-    let workloads = [
-        WorkloadKind::BTree,
-        WorkloadKind::HashTable,
-        WorkloadKind::TatpBTree,
-    ];
-    let mut table = Table::new(
-        "Table 4 — STM vs HTM engines (1 GB/s, 1000 cycles, 4 threads)",
-        &[
-            "benchmark",
-            "Volatile-STM",
-            "DudeTM-STM",
-            "STM slowdown",
-            "Volatile-HTM",
-            "DudeTM-HTM",
-            "HTM slowdown",
-            "HTM/STM speedup",
-        ],
-    );
-    for workload in workloads {
-        let vstm = run_combo_median(SystemKind::VolatileStm, workload, &env, reps);
-        let dstm = run_combo_median(SystemKind::Dude, workload, &env, reps);
-        let vhtm = run_combo_median(SystemKind::VolatileHtm, workload, &env, reps);
-        let dhtm = run_combo_median(SystemKind::DudeHtm, workload, &env, reps);
-        table.push(vec![
-            workload.label(),
-            fmt_tps(vstm.run.throughput),
-            fmt_tps(dstm.run.throughput),
-            fmt_pct(1.0 - dstm.run.throughput / vstm.run.throughput),
-            fmt_tps(vhtm.run.throughput),
-            fmt_tps(dhtm.run.throughput),
-            fmt_pct(1.0 - dhtm.run.throughput / vhtm.run.throughput),
-            format!("{:.2}x", dhtm.run.throughput / dstm.run.throughput),
-        ]);
-    }
-    table.print();
-    table.save_csv("bench_results");
+    dude_bench::runner::legacy_main("table4_htm");
 }

@@ -1,0 +1,350 @@
+//! The regression gate: `dude-bench diff` compares a current set of
+//! `BENCH_*.json` records against a committed baseline and fails on
+//! regression.
+//!
+//! Only metrics marked `gated` participate by default — wall-clock numbers
+//! vary across hosts far more than any useful tolerance, so the gate runs
+//! on structural metrics (writes/tx, committed counts) and the operator
+//! opts walltime metrics in with `--include-walltime` for same-machine
+//! baselines.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use crate::record::Record;
+use crate::spec::Better;
+
+/// A typed gate failure (usage/setup error, as opposed to a measured
+/// regression, which is reported in the [`DiffReport`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffError {
+    /// The baseline names a spec the current run did not produce.
+    MissingSpec {
+        /// Spec name.
+        spec: String,
+    },
+    /// A gated baseline metric is absent from the current record.
+    MissingMetric {
+        /// Spec name.
+        spec: String,
+        /// Metric name.
+        metric: String,
+    },
+    /// Baseline and current records are not comparable.
+    EnvMismatch {
+        /// Spec name.
+        spec: String,
+        /// Which environment field disagrees (`"tier"`, `"unit"`...).
+        field: String,
+        /// Baseline value.
+        baseline: String,
+        /// Current value.
+        current: String,
+    },
+    /// The tolerance argument did not parse.
+    BadTolerance(
+        /// The offending argument.
+        String,
+    ),
+    /// Reading or parsing a record file failed.
+    Io(
+        /// Path-qualified message.
+        String,
+    ),
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffError::MissingSpec { spec } => {
+                write!(f, "baseline spec '{spec}' missing from current results")
+            }
+            DiffError::MissingMetric { spec, metric } => {
+                write!(
+                    f,
+                    "spec '{spec}': gated metric '{metric}' missing from current record"
+                )
+            }
+            DiffError::EnvMismatch {
+                spec,
+                field,
+                baseline,
+                current,
+            } => write!(
+                f,
+                "spec '{spec}': {field} mismatch (baseline {baseline}, current {current}) — \
+                 records are not comparable"
+            ),
+            DiffError::BadTolerance(s) => {
+                write!(f, "bad tolerance '{s}' (expected e.g. '15%' or '0.15')")
+            }
+            DiffError::Io(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+/// Parses a tolerance given as `"15%"` or `"0.15"` into a fraction.
+///
+/// # Errors
+///
+/// [`DiffError::BadTolerance`] for anything unparsable or negative.
+pub fn parse_tolerance(s: &str) -> Result<f64, DiffError> {
+    let bad = || DiffError::BadTolerance(s.to_string());
+    let v = if let Some(pct) = s.strip_suffix('%') {
+        pct.trim().parse::<f64>().map_err(|_| bad())? / 100.0
+    } else {
+        s.trim().parse::<f64>().map_err(|_| bad())?
+    };
+    if v.is_finite() && v >= 0.0 {
+        Ok(v)
+    } else {
+        Err(bad())
+    }
+}
+
+/// One metric whose current value moved beyond tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Spec name.
+    pub spec: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative change, `(current - baseline) / |baseline|`.
+    pub change: f64,
+    /// The metric's regression direction.
+    pub better: Better,
+}
+
+/// The gate's outcome.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Gated metrics compared.
+    pub checked: usize,
+    /// Metrics beyond tolerance in the regressing direction.
+    pub regressions: Vec<Regression>,
+    /// Metrics beyond tolerance in the *improving* direction (reported,
+    /// never failing — a big unexplained improvement is worth a look but
+    /// must not block).
+    pub improvements: Vec<Regression>,
+}
+
+impl DiffReport {
+    /// `true` when no gated metric regressed.
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// `true` if moving from `base` to `cur` is a regression at `tol`:
+/// strictly beyond the `base * (1 ∓ tol)` boundary in the bad direction
+/// (landing exactly on the boundary passes).
+fn regressed(base: f64, cur: f64, tol: f64, better: Better) -> bool {
+    if base == 0.0 {
+        return cur != 0.0;
+    }
+    let lo = base - base.abs() * tol;
+    let hi = base + base.abs() * tol;
+    match better {
+        Better::Higher => cur < lo,
+        Better::Lower => cur > hi,
+        Better::TwoSided => cur < lo || cur > hi,
+    }
+}
+
+/// Compares `current` records against `baseline` records.
+///
+/// Every baseline spec must be present in `current` with a matching tier;
+/// every gated baseline metric (plus walltime metrics when
+/// `include_walltime`) must be present with a matching unit and within
+/// `tolerance` of its baseline value.
+///
+/// # Errors
+///
+/// Typed [`DiffError`]s for missing specs/metrics and incomparable
+/// environments. Measured regressions are *not* errors — they land in the
+/// report.
+pub fn diff_records(
+    baseline: &[Record],
+    current: &[Record],
+    tolerance: f64,
+    include_walltime: bool,
+) -> Result<DiffReport, DiffError> {
+    let cur_by_name: BTreeMap<&str, &Record> =
+        current.iter().map(|r| (r.spec.as_str(), r)).collect();
+    let mut report = DiffReport::default();
+    for base in baseline {
+        let cur = cur_by_name
+            .get(base.spec.as_str())
+            .ok_or_else(|| DiffError::MissingSpec {
+                spec: base.spec.clone(),
+            })?;
+        if base.tier != cur.tier {
+            return Err(DiffError::EnvMismatch {
+                spec: base.spec.clone(),
+                field: "tier".into(),
+                baseline: base.tier.name().into(),
+                current: cur.tier.name().into(),
+            });
+        }
+        for bm in &base.metrics {
+            if !(bm.gated || (include_walltime && bm.walltime)) {
+                continue;
+            }
+            let cm = cur
+                .metric(&bm.name)
+                .ok_or_else(|| DiffError::MissingMetric {
+                    spec: base.spec.clone(),
+                    metric: bm.name.clone(),
+                })?;
+            if bm.unit != cm.unit {
+                return Err(DiffError::EnvMismatch {
+                    spec: base.spec.clone(),
+                    field: format!("unit of '{}'", bm.name),
+                    baseline: bm.unit.into(),
+                    current: cm.unit.into(),
+                });
+            }
+            report.checked += 1;
+            let change = if bm.value == 0.0 {
+                if cm.value == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (cm.value - bm.value) / bm.value.abs()
+            };
+            let entry = Regression {
+                spec: base.spec.clone(),
+                metric: bm.name.clone(),
+                baseline: bm.value,
+                current: cm.value,
+                change,
+                better: bm.better,
+            };
+            if regressed(bm.value, cm.value, tolerance, bm.better) {
+                report.regressions.push(entry);
+            } else {
+                // Out-of-band improvements (beyond tolerance in the good
+                // direction) are surfaced but never fail the gate.
+                let improved = match bm.better {
+                    Better::Higher => {
+                        bm.value != 0.0 && cm.value > bm.value + bm.value.abs() * tolerance
+                    }
+                    Better::Lower => {
+                        bm.value != 0.0 && cm.value < bm.value - bm.value.abs() * tolerance
+                    }
+                    Better::TwoSided => false,
+                };
+                if improved {
+                    report.improvements.push(entry);
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Loads every `BENCH_*.json` under `dir` (sorted by file name).
+///
+/// # Errors
+///
+/// [`DiffError::Io`] on unreadable directories or malformed records.
+pub fn load_records(dir: &Path) -> Result<Vec<Record>, DiffError> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| DiffError::Io(format!("{}: {e}", dir.display())))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| Record::load(&p).map_err(DiffError::Io))
+        .collect()
+}
+
+/// Loads a baseline: a directory of `BENCH_*.json` files, a single record
+/// file, or a bundle file (`{"records": [...]}` as written by
+/// `dude-bench baseline`).
+///
+/// # Errors
+///
+/// [`DiffError::Io`] on unreadable paths or malformed records.
+pub fn load_baseline(path: &Path) -> Result<Vec<Record>, DiffError> {
+    if path.is_dir() {
+        return load_records(path);
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| DiffError::Io(format!("{}: {e}", path.display())))?;
+    let doc =
+        crate::json::parse(&text).map_err(|e| DiffError::Io(format!("{}: {e}", path.display())))?;
+    if let Some(records) = doc.get("records").and_then(crate::json::Json::as_arr) {
+        records
+            .iter()
+            .map(|r| {
+                Record::from_json(r).map_err(|e| DiffError::Io(format!("{}: {e}", path.display())))
+            })
+            .collect()
+    } else {
+        Ok(vec![Record::from_json(&doc).map_err(|e| {
+            DiffError::Io(format!("{}: {e}", path.display()))
+        })?])
+    }
+}
+
+/// Serializes records into a baseline bundle document.
+#[must_use]
+pub fn baseline_bundle(records: &[Record]) -> crate::json::Json {
+    crate::json::Json::Obj(vec![
+        ("schema".into(), crate::json::Json::num(1.0)),
+        (
+            "records".into(),
+            crate::json::Json::Arr(records.iter().map(Record::to_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_parsing() {
+        assert_eq!(parse_tolerance("15%").unwrap(), 0.15);
+        assert_eq!(parse_tolerance("0.15").unwrap(), 0.15);
+        assert_eq!(parse_tolerance("25 %").unwrap(), 0.25);
+        assert!(parse_tolerance("nope").is_err());
+        assert!(parse_tolerance("-5%").is_err());
+    }
+
+    #[test]
+    fn boundary_semantics() {
+        // Exactly at the boundary passes; strictly beyond fails.
+        assert!(!regressed(100.0, 85.0, 0.15, Better::Higher));
+        assert!(regressed(100.0, 84.999, 0.15, Better::Higher));
+        assert!(!regressed(100.0, 115.0, 0.15, Better::Lower));
+        assert!(regressed(100.0, 115.001, 0.15, Better::Lower));
+        assert!(regressed(100.0, 115.001, 0.15, Better::TwoSided));
+        assert!(regressed(100.0, 84.999, 0.15, Better::TwoSided));
+        assert!(!regressed(100.0, 100.0, 0.0, Better::TwoSided));
+        // Improvements never regress the one-sided directions.
+        assert!(!regressed(100.0, 1000.0, 0.15, Better::Higher));
+        assert!(!regressed(100.0, 1.0, 0.15, Better::Lower));
+        // Zero baseline: any drift is a regression.
+        assert!(regressed(0.0, 0.1, 0.15, Better::TwoSided));
+        assert!(!regressed(0.0, 0.0, 0.15, Better::TwoSided));
+    }
+}

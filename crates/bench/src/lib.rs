@@ -1,31 +1,52 @@
 //! Benchmark harness regenerating every table and figure of the DudeTM
 //! paper's evaluation (§5).
 //!
-//! One binary per experiment lives in `src/bin/`:
+//! Every experiment — each paper table/figure plus the repo's ablations
+//! and endurance extension — is a declarative [`spec::Spec`] in
+//! [`registry::SPECS`]: a name, the paper reference, the tables it
+//! declares, and a runner `fn(&SpecCtx) -> SpecOutput`. The `dude-bench`
+//! binary ([`cli`]) owns the whole measurement loop on top of it:
 //!
-//! | Binary | Paper content |
-//! |---|---|
-//! | `fig2_throughput` | Figure 2 — throughput vs NVM bandwidth, 4 systems × 6 benchmarks |
-//! | `table1_writes` | Table 1 — NVM write statistics per benchmark |
-//! | `table2_systems` | Table 2 — DudeTM vs DudeTM-Sync vs Mnemosyne vs NVML |
-//! | `table3_latency` | Table 3 — durable-latency percentiles, hash-based TPC-C |
-//! | `fig3_logopt` | Figure 3 — log combination & compression savings vs group size |
-//! | `fig4_swap` | Figure 4 — paging overhead vs shadow size, software vs hardware |
-//! | `fig5_scalability` | Figure 5 — thread scaling, TPC-C (B+-tree), plus low-conflict variant |
-//! | `table4_htm` | Table 4 — STM- vs HTM-based DudeTM |
+//! | Subcommand | Module | What it does |
+//! |---|---|---|
+//! | `list` | [`registry`] | enumerate specs, their tables and paper refs |
+//! | `run` | [`runner`] | execute specs at `--quick`/`--full` tier, write `<spec>__<slug>.csv` + `BENCH_<spec>.json` ([`record`]) |
+//! | `diff` | [`diff`] | gate a run against a baseline bundle at a tolerance; typed errors, nonzero exit on regression |
+//! | `render` | [`render`] | regenerate the `<!-- bench:... -->` blocks of `EXPERIMENTS.md` from records (`--check` for CI) |
+//! | `baseline` | [`diff`] | bundle a run's records into `bench_results/baseline.json` |
+//! | `manifest` | [`manifest`] | regenerate `bench_results/MANIFEST.md` mapping specs to artifacts |
+//! | `import-legacy` | [`import`] | one-shot migration of pre-registry CSV artifacts to canonical names + records |
 //!
-//! Each binary accepts `--quick` for a fast smoke run and prints markdown
-//! tables (also written as CSV under `bench_results/`). Scale-downs
-//! relative to the paper (single-CPU container, smaller heaps) are
-//! documented in `EXPERIMENTS.md`.
+//! The pre-registry per-experiment binaries (`fig2_throughput`,
+//! `table1_writes`, …, `ablation_pipeline`, `endurance_wear`) remain in
+//! `src/bin/` as thin shims over [`runner::legacy_main`] and keep their
+//! old flags (`--quick`, `--section`, `--trace-out`).
+//!
+//! Records are hand-rolled JSON ([`json`]) — no serde, byte-stable
+//! pretty-printing so deterministic runs diff clean. Scale-downs relative
+//! to the paper (single-CPU container, smaller heaps) are documented in
+//! `EXPERIMENTS.md`; `DESIGN.md §13` describes the methodology.
 
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod diff;
 pub mod env;
+pub mod import;
+pub mod json;
+pub mod manifest;
+pub mod record;
+pub mod registry;
+pub mod render;
 pub mod report;
+pub mod runner;
+pub mod spec;
 pub mod systems;
 pub mod workloads;
 
 pub use env::BenchEnv;
 pub use report::Table;
+pub use spec::{Spec, SpecCtx, SpecOutput, Tier};
 pub use systems::{run_combo, run_combo_median, SystemKind};
 pub use workloads::WorkloadKind;
 

@@ -1,0 +1,448 @@
+//! The canonical on-disk experiment record: `BENCH_<spec>.json`.
+//!
+//! One record per spec per run, carrying the rendered tables (what the
+//! report renderer consumes), the named metrics with raw samples and
+//! median/p95 (what the regression gate consumes), and enough environment
+//! metadata (tier, seed, git SHA, host shape) to judge whether two
+//! records are comparable.
+
+use crate::json::{parse, Json, ParseError};
+use crate::report::Table;
+use crate::spec::{p95, Better, Metric, Spec, SpecCtx, SpecOutput, SpecTable, Tier};
+
+/// Record schema version (bumped on incompatible layout changes).
+pub const SCHEMA_VERSION: f64 = 1.0;
+
+/// Environment metadata stamped into every record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvMeta {
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Available parallelism at run time.
+    pub cpus: u64,
+    /// Git commit (short SHA) of the tree that produced the record, or
+    /// `"unknown"` outside a git checkout.
+    pub git_sha: String,
+    /// `"run"` for records produced by `dude-bench run`,
+    /// `"imported-legacy-csv"` for records bootstrapped from the
+    /// pre-harness CSV artifacts (tables only, no metrics).
+    pub source: String,
+}
+
+impl EnvMeta {
+    /// Captures the current host (source `"run"`).
+    #[must_use]
+    pub fn capture() -> EnvMeta {
+        EnvMeta {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+            git_sha: git_short_sha(),
+            source: "run".to_string(),
+        }
+    }
+}
+
+/// Best-effort short git SHA of the working tree.
+#[must_use]
+pub fn git_short_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string())
+}
+
+/// One complete experiment record.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Spec name (`table2`, ...).
+    pub spec: String,
+    /// Human title.
+    pub title: String,
+    /// Paper reference.
+    pub paper_ref: String,
+    /// Tier the record was produced at.
+    pub tier: Tier,
+    /// Whether wall-clock cells were masked (deterministic mode).
+    pub deterministic: bool,
+    /// RNG seed.
+    pub seed: u64,
+    /// Environment metadata.
+    pub env: EnvMeta,
+    /// Named metrics.
+    pub metrics: Vec<Metric>,
+    /// Rendered tables.
+    pub tables: Vec<SpecTable>,
+    /// Free-form notes.
+    pub notes: Vec<String>,
+}
+
+impl Record {
+    /// Builds a record from a spec's output.
+    ///
+    /// In deterministic mode wall-clock metric values are masked to `0`
+    /// (their table cells are already `-`), so the whole JSON record —
+    /// not just the rendered tables — is byte-stable under pinned seeds.
+    #[must_use]
+    pub fn from_output(spec: &Spec, ctx: &SpecCtx, mut out: SpecOutput, env: EnvMeta) -> Record {
+        if ctx.deterministic {
+            for m in &mut out.metrics {
+                if m.walltime {
+                    m.value = 0.0;
+                    m.samples.clear();
+                }
+            }
+        }
+        Record {
+            spec: spec.name.to_string(),
+            title: spec.title.to_string(),
+            paper_ref: spec.paper_ref.to_string(),
+            tier: ctx.tier(),
+            deterministic: ctx.deterministic,
+            seed: ctx.seed,
+            env,
+            metrics: out.metrics,
+            tables: out.tables,
+            notes: out.notes,
+        }
+    }
+
+    /// The record's canonical file name.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.spec)
+    }
+
+    /// Looks up a metric by name.
+    #[must_use]
+    pub fn metric(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Looks up a table by slug.
+    #[must_use]
+    pub fn table(&self, slug: &str) -> Option<&SpecTable> {
+        self.tables.iter().find(|t| t.slug == slug)
+    }
+
+    /// Serializes to the canonical JSON form (byte-stable for identical
+    /// content).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|m| {
+                Json::Obj(vec![
+                    ("name".into(), Json::str(&m.name)),
+                    ("unit".into(), Json::str(m.unit.to_string())),
+                    ("value".into(), Json::num(m.value)),
+                    ("p95".into(), Json::num(p95(&m.samples))),
+                    ("gated".into(), Json::Bool(m.gated)),
+                    ("better".into(), Json::str(m.better.name())),
+                    ("walltime".into(), Json::Bool(m.walltime)),
+                    (
+                        "samples".into(),
+                        Json::Arr(m.samples.iter().map(|&v| Json::num(v)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let tables = self
+            .tables
+            .iter()
+            .map(|t| {
+                Json::Obj(vec![
+                    ("slug".into(), Json::str(&t.slug)),
+                    ("title".into(), Json::str(&t.table.title)),
+                    (
+                        "headers".into(),
+                        Json::Arr(t.table.headers.iter().map(Json::str).collect()),
+                    ),
+                    (
+                        "rows".into(),
+                        Json::Arr(
+                            t.table
+                                .rows
+                                .iter()
+                                .map(|r| Json::Arr(r.iter().map(Json::str).collect()))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::num(SCHEMA_VERSION)),
+            ("spec".into(), Json::str(&self.spec)),
+            ("title".into(), Json::str(&self.title)),
+            ("paper_ref".into(), Json::str(&self.paper_ref)),
+            ("tier".into(), Json::str(self.tier.name())),
+            ("deterministic".into(), Json::Bool(self.deterministic)),
+            ("seed".into(), Json::num(self.seed as f64)),
+            (
+                "environment".into(),
+                Json::Obj(vec![
+                    ("os".into(), Json::str(&self.env.os)),
+                    ("arch".into(), Json::str(&self.env.arch)),
+                    ("cpus".into(), Json::num(self.env.cpus as f64)),
+                    ("git_sha".into(), Json::str(&self.env.git_sha)),
+                    ("source".into(), Json::str(&self.env.source)),
+                ]),
+            ),
+            ("metrics".into(), Json::Arr(metrics)),
+            ("tables".into(), Json::Arr(tables)),
+            (
+                "notes".into(),
+                Json::Arr(self.notes.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a record from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed JSON or a missing /
+    /// mistyped required field.
+    pub fn from_json_text(text: &str) -> Result<Record, String> {
+        let doc = parse(text).map_err(|e: ParseError| e.to_string())?;
+        Record::from_json(&doc)
+    }
+
+    /// Parses a record from an already-parsed JSON document.
+    ///
+    /// # Errors
+    ///
+    /// As [`Record::from_json_text`].
+    pub fn from_json(doc: &Json) -> Result<Record, String> {
+        let req_str = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        };
+        let tier_name = req_str("tier")?;
+        let tier =
+            Tier::from_name(&tier_name).ok_or_else(|| format!("unknown tier '{tier_name}'"))?;
+        let env_doc = doc
+            .get("environment")
+            .ok_or_else(|| "missing 'environment'".to_string())?;
+        let env_str = |key: &str| {
+            env_doc
+                .get(key)
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string()
+        };
+        let env = EnvMeta {
+            os: env_str("os"),
+            arch: env_str("arch"),
+            cpus: env_doc.get("cpus").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            git_sha: env_str("git_sha"),
+            source: env_str("source"),
+        };
+        let mut metrics = Vec::new();
+        for m in doc
+            .get("metrics")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+        {
+            let name = m
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "metric without 'name'".to_string())?
+                .to_string();
+            let better = m
+                .get("better")
+                .and_then(Json::as_str)
+                .and_then(Better::from_name)
+                .ok_or_else(|| format!("metric '{name}' has bad 'better'"))?;
+            let samples: Vec<f64> = m
+                .get("samples")
+                .and_then(Json::as_arr)
+                .unwrap_or_default()
+                .iter()
+                .filter_map(Json::as_f64)
+                .collect();
+            metrics.push(Metric {
+                name,
+                unit: leak_unit(m.get("unit").and_then(Json::as_str).unwrap_or("")),
+                value: m
+                    .get("value")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| "metric without 'value'".to_string())?,
+                samples,
+                gated: m.get("gated").and_then(Json::as_bool).unwrap_or(false),
+                better,
+                walltime: m.get("walltime").and_then(Json::as_bool).unwrap_or(false),
+            });
+        }
+        let mut tables = Vec::new();
+        for t in doc.get("tables").and_then(Json::as_arr).unwrap_or_default() {
+            let slug = t
+                .get("slug")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "table without 'slug'".to_string())?
+                .to_string();
+            let title = t
+                .get("title")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string();
+            let headers: Vec<String> = t
+                .get("headers")
+                .and_then(Json::as_arr)
+                .unwrap_or_default()
+                .iter()
+                .filter_map(Json::as_str)
+                .map(str::to_string)
+                .collect();
+            let rows: Vec<Vec<String>> = t
+                .get("rows")
+                .and_then(Json::as_arr)
+                .unwrap_or_default()
+                .iter()
+                .map(|row| {
+                    row.as_arr()
+                        .unwrap_or_default()
+                        .iter()
+                        .filter_map(Json::as_str)
+                        .map(str::to_string)
+                        .collect()
+                })
+                .collect();
+            tables.push(SpecTable {
+                slug,
+                table: Table {
+                    title,
+                    headers,
+                    rows,
+                },
+            });
+        }
+        let notes = doc
+            .get("notes")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+            .iter()
+            .filter_map(Json::as_str)
+            .map(str::to_string)
+            .collect();
+        Ok(Record {
+            spec: req_str("spec")?,
+            title: req_str("title")?,
+            paper_ref: req_str("paper_ref")?,
+            tier,
+            deterministic: doc
+                .get("deterministic")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            seed: doc.get("seed").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            env,
+            metrics,
+            tables,
+            notes,
+        })
+    }
+
+    /// Reads and parses a record file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or malformed content, with the path in the message.
+    pub fn load(path: &std::path::Path) -> Result<Record, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Record::from_json_text(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Units are `&'static str` in [`Metric`] (spec runners use literals); a
+/// parsed record leaks its handful of short unit strings, which is bounded
+/// by the metric vocabulary and only happens in the CLI's read paths.
+fn leak_unit(s: &str) -> &'static str {
+    match s {
+        "tps" => "tps",
+        "txns" => "txns",
+        "writes/tx" => "writes/tx",
+        "fraction" => "fraction",
+        "count" => "count",
+        "ratio" => "ratio",
+        "us" => "us",
+        "" => "",
+        other => Box::leak(other.to_string().into_boxed_str()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> Record {
+        let mut table = Table::new("Demo", &["a", "b"]);
+        table.push(vec!["1".into(), "x".into()]);
+        Record {
+            spec: "demo".into(),
+            title: "Demo".into(),
+            paper_ref: "Table 0".into(),
+            tier: Tier::Quick,
+            deterministic: true,
+            seed: 42,
+            env: EnvMeta {
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                cpus: 1,
+                git_sha: "abc123".into(),
+                source: "run".into(),
+            },
+            metrics: vec![Metric {
+                name: "writes_per_tx/Bank".into(),
+                unit: "writes/tx",
+                value: 2.0,
+                samples: vec![2.0],
+                gated: true,
+                better: Better::TwoSided,
+                walltime: false,
+            }],
+            tables: vec![SpecTable {
+                slug: "main".into(),
+                table,
+            }],
+            notes: vec!["a note".into()],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let rec = sample_record();
+        let text = rec.to_json().pretty();
+        let back = Record::from_json_text(&text).expect("parse");
+        assert_eq!(back.spec, "demo");
+        assert_eq!(back.tier, Tier::Quick);
+        assert!(back.deterministic);
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.env.git_sha, "abc123");
+        assert_eq!(back.metrics, rec.metrics);
+        assert_eq!(back.tables[0].slug, "main");
+        assert_eq!(back.tables[0].table.rows, rec.tables[0].table.rows);
+        assert_eq!(back.notes, rec.notes);
+        // Byte stability: re-serialization is identical.
+        assert_eq!(back.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        assert!(Record::from_json_text("{}").unwrap_err().contains("tier"));
+        assert!(Record::from_json_text("not json").is_err());
+    }
+
+    #[test]
+    fn file_name_is_canonical() {
+        assert_eq!(sample_record().file_name(), "BENCH_demo.json");
+    }
+}

@@ -1,0 +1,302 @@
+//! The report renderer: regenerates the result tables in `EXPERIMENTS.md`
+//! from recorded `BENCH_*.json` files.
+//!
+//! The document owns its prose; the renderer owns the numbers. Every
+//! generated region is delimited by marker comments:
+//!
+//! ```markdown
+//! <!-- bench:table2 -->
+//! ...replaced by the renderer...
+//! <!-- /bench:table2 -->
+//! ```
+//!
+//! A marker names a spec (`bench:table2` — renders all of its tables) or
+//! one table of a multi-table spec (`bench:fig2:tatp_hash`). Rendering is
+//! a pure function of the JSON records: no timestamps, no git SHA — two
+//! renders from the same records are byte-identical, which is what the CI
+//! `docs-freshness` check and the determinism test rely on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::record::Record;
+
+/// A renderer failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RenderError {
+    /// A marker names a spec with no loaded record.
+    MissingRecord {
+        /// Spec name.
+        spec: String,
+    },
+    /// A marker names a table slug the record does not contain.
+    UnknownSlug {
+        /// Spec name.
+        spec: String,
+        /// Slug name.
+        slug: String,
+    },
+    /// An opening marker has no matching closing marker.
+    UnclosedMarker {
+        /// The marker key (`spec` or `spec:slug`).
+        key: String,
+        /// 1-indexed line of the opening marker.
+        line: usize,
+    },
+}
+
+impl fmt::Display for RenderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenderError::MissingRecord { spec } => {
+                write!(
+                    f,
+                    "no BENCH_{spec}.json record loaded for marker 'bench:{spec}'"
+                )
+            }
+            RenderError::UnknownSlug { spec, slug } => {
+                write!(f, "record for '{spec}' has no table slug '{slug}'")
+            }
+            RenderError::UnclosedMarker { key, line } => {
+                write!(
+                    f,
+                    "marker 'bench:{key}' opened on line {line} is never closed"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
+
+/// The deterministic provenance line for a rendered block (no SHA, no
+/// date — only facts that are stable across re-renders of the same data).
+fn provenance(record: &Record, slug: Option<&str>) -> String {
+    let which = match slug {
+        Some(s) => format!("`{}:{s}`", record.spec),
+        None => format!("`{}`", record.spec),
+    };
+    format!(
+        "*{which} — rendered by `dude-bench render` from `{}` ({} tier, seed {}{}{}).*",
+        record.file_name(),
+        record.tier.name(),
+        record.seed,
+        if record.deterministic {
+            ", deterministic"
+        } else {
+            ""
+        },
+        if record.env.source == "run" {
+            String::new()
+        } else {
+            format!(", source {}", record.env.source)
+        },
+    )
+}
+
+/// Renders the replacement content for one marker (without the marker
+/// lines themselves).
+///
+/// # Errors
+///
+/// [`RenderError::MissingRecord`] / [`RenderError::UnknownSlug`].
+pub fn render_block(
+    records: &BTreeMap<String, Record>,
+    spec: &str,
+    slug: Option<&str>,
+) -> Result<String, RenderError> {
+    let record = records
+        .get(spec)
+        .ok_or_else(|| RenderError::MissingRecord {
+            spec: spec.to_string(),
+        })?;
+    let mut out = String::new();
+    out.push_str(&provenance(record, slug));
+    out.push('\n');
+    match slug {
+        Some(s) => {
+            let t = record.table(s).ok_or_else(|| RenderError::UnknownSlug {
+                spec: spec.to_string(),
+                slug: s.to_string(),
+            })?;
+            out.push('\n');
+            out.push_str(&t.table.to_markdown());
+        }
+        None => {
+            let many = record.tables.len() > 1;
+            for t in &record.tables {
+                out.push('\n');
+                if many {
+                    out.push_str(&format!("**{}**\n\n", t.table.title));
+                }
+                out.push_str(&t.table.to_markdown());
+            }
+            for note in &record.notes {
+                out.push('\n');
+                out.push_str(&format!("*({note})*\n"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses `<!-- bench:KEY -->` / `<!-- /bench:KEY -->` from a line,
+/// returning `(key, is_close)`.
+fn parse_marker(line: &str) -> Option<(&str, bool)> {
+    let t = line.trim();
+    let inner = t.strip_prefix("<!--")?.strip_suffix("-->")?.trim();
+    if let Some(key) = inner.strip_prefix("/bench:") {
+        Some((key.trim(), true))
+    } else if let Some(key) = inner.strip_prefix("bench:") {
+        Some((key.trim(), false))
+    } else {
+        None
+    }
+}
+
+/// Rewrites every marker block in `doc`, returning the new text and the
+/// number of blocks rendered.
+///
+/// # Errors
+///
+/// Any [`RenderError`] from a malformed marker or missing data.
+pub fn render_doc(
+    doc: &str,
+    records: &BTreeMap<String, Record>,
+) -> Result<(String, usize), RenderError> {
+    let lines: Vec<&str> = doc.split_inclusive('\n').collect();
+    let mut out = String::with_capacity(doc.len());
+    let mut rendered = 0;
+    let mut i = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        match parse_marker(line) {
+            Some((key, false)) => {
+                // Find the matching close marker.
+                let close = (i + 1..lines.len())
+                    .find(|&j| parse_marker(lines[j]) == Some((key, true)))
+                    .ok_or_else(|| RenderError::UnclosedMarker {
+                        key: key.to_string(),
+                        line: i + 1,
+                    })?;
+                let (spec, slug) = match key.split_once(':') {
+                    Some((s, g)) => (s, Some(g)),
+                    None => (key, None),
+                };
+                out.push_str(line);
+                out.push_str(&render_block(records, spec, slug)?);
+                out.push_str(lines[close]);
+                rendered += 1;
+                i = close + 1;
+            }
+            _ => {
+                out.push_str(line);
+                i += 1;
+            }
+        }
+    }
+    Ok((out, rendered))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::EnvMeta;
+    use crate::report::Table;
+    use crate::spec::{SpecTable, Tier};
+
+    fn records() -> BTreeMap<String, Record> {
+        let mut t1 = Table::new("Alpha", &["k", "v"]);
+        t1.push(vec!["a".into(), "1".into()]);
+        let mut t2 = Table::new("Beta", &["k", "v"]);
+        t2.push(vec!["b".into(), "2".into()]);
+        let rec = Record {
+            spec: "demo".into(),
+            title: "Demo".into(),
+            paper_ref: "none".into(),
+            tier: Tier::Quick,
+            deterministic: false,
+            seed: 42,
+            env: EnvMeta {
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                cpus: 1,
+                git_sha: "abc".into(),
+                source: "run".into(),
+            },
+            metrics: vec![],
+            tables: vec![
+                SpecTable {
+                    slug: "alpha".into(),
+                    table: t1,
+                },
+                SpecTable {
+                    slug: "beta".into(),
+                    table: t2,
+                },
+            ],
+            notes: vec!["hello".into()],
+        };
+        let mut m = BTreeMap::new();
+        m.insert("demo".to_string(), rec);
+        m
+    }
+
+    #[test]
+    fn replaces_block_content() {
+        let doc = "intro\n<!-- bench:demo:alpha -->\nSTALE\n<!-- /bench:demo:alpha -->\ntail\n";
+        let (out, n) = render_doc(doc, &records()).unwrap();
+        assert_eq!(n, 1);
+        assert!(!out.contains("STALE"));
+        assert!(out.contains("| a | 1 |"));
+        assert!(!out.contains("| b | 2 |"));
+        assert!(out.starts_with("intro\n"));
+        assert!(out.ends_with("tail\n"));
+        // Idempotent: rendering the output again changes nothing.
+        let (again, _) = render_doc(&out, &records()).unwrap();
+        assert_eq!(again, out);
+    }
+
+    #[test]
+    fn spec_level_marker_renders_all_tables_and_notes() {
+        let doc = "<!-- bench:demo -->\n<!-- /bench:demo -->\n";
+        let (out, _) = render_doc(doc, &records()).unwrap();
+        assert!(out.contains("**Alpha**"));
+        assert!(out.contains("| b | 2 |"));
+        assert!(out.contains("*(hello)*"));
+        assert!(out.contains("quick tier, seed 42"));
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let recs = records();
+        let unknown = "<!-- bench:nope -->\n<!-- /bench:nope -->\n";
+        assert_eq!(
+            render_doc(unknown, &recs).unwrap_err(),
+            RenderError::MissingRecord {
+                spec: "nope".into()
+            }
+        );
+        let bad_slug = "<!-- bench:demo:nope -->\n<!-- /bench:demo:nope -->\n";
+        assert!(matches!(
+            render_doc(bad_slug, &recs).unwrap_err(),
+            RenderError::UnknownSlug { .. }
+        ));
+        let unclosed = "<!-- bench:demo -->\nno close\n";
+        assert_eq!(
+            render_doc(unclosed, &recs).unwrap_err(),
+            RenderError::UnclosedMarker {
+                key: "demo".into(),
+                line: 1
+            }
+        );
+    }
+
+    #[test]
+    fn non_marker_comments_pass_through() {
+        let doc = "<!-- a normal comment -->\ntext\n";
+        let (out, n) = render_doc(doc, &records()).unwrap();
+        assert_eq!(out, doc);
+        assert_eq!(n, 0);
+    }
+}

@@ -34,16 +34,18 @@ impl Table {
         self.rows.push(row);
     }
 
-    /// Prints the table as github-flavored markdown.
-    pub fn print(&self) {
-        let ncols = self.headers.len();
+    /// Renders the table body as github-flavored markdown (aligned pipe
+    /// table, no title, trailing newline). This is the single formatting
+    /// path shared by [`Table::print`] and the `dude-bench render`
+    /// report generator, so stdout and `EXPERIMENTS.md` can never drift.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
             }
         }
-        println!("\n### {}\n", self.title);
         let fmt_row = |cells: &[String]| {
             let padded: Vec<String> = cells
                 .iter()
@@ -52,34 +54,49 @@ impl Table {
                 .collect();
             format!("| {} |", padded.join(" | "))
         };
-        println!("{}", fmt_row(&self.headers));
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
         let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-        println!("{}", fmt_row(&sep));
+        out.push_str(&fmt_row(&sep));
+        out.push('\n');
         for row in &self.rows {
-            println!("{}", fmt_row(row));
+            out.push_str(&fmt_row(row));
+            out.push('\n');
         }
-        let _ = (0..ncols).count();
+        out
     }
 
-    /// Writes the table as CSV under `dir` (created if missing), named
-    /// from the title.
-    pub fn save_csv(&self, dir: &str) {
-        let stem: String = self
-            .title
-            .chars()
-            .map(|c| if c.is_alphanumeric() { c } else { '_' })
-            .collect();
-        let path = Path::new(dir).join(format!("{}.csv", stem.to_lowercase()));
+    /// Prints the table as github-flavored markdown.
+    pub fn print(&self) {
+        println!("\n### {}\n", self.title);
+        print!("{}", self.to_markdown());
+    }
+
+    /// Serializes the table as CSV text (header line + rows).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as `<stem>.csv` under `dir` (created if missing).
+    /// `dude-bench run` passes the canonical `<spec>__<slug>` stem.
+    pub fn save_csv_as(&self, dir: &Path, stem: &str) {
+        let path = dir.join(format!("{stem}.csv"));
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
         let Ok(mut f) = std::fs::File::create(&path) else {
             return;
         };
-        let _ = writeln!(f, "{}", self.headers.join(","));
-        for row in &self.rows {
-            let _ = writeln!(f, "{}", row.join(","));
-        }
+        let _ = f.write_all(self.to_csv().as_bytes());
         println!("[csv] {}", path.display());
     }
 }
@@ -115,6 +132,17 @@ mod tests {
         t.push(vec!["1".into(), "2".into()]);
         assert_eq!(t.rows.len(), 1);
         t.print(); // must not panic
+    }
+
+    #[test]
+    fn markdown_and_csv_rendering() {
+        let mut t = Table::new("Demo", &["col", "x"]);
+        t.push(vec!["1".into(), "22".into()]);
+        assert_eq!(
+            t.to_markdown(),
+            "| col | x  |\n| --- | -- |\n| 1   | 22 |\n"
+        );
+        assert_eq!(t.to_csv(), "col,x\n1,22\n");
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! The docs-freshness determinism contract: two `--deterministic` runs of
+//! the same spec with pinned seeds must render byte-identical
+//! `EXPERIMENTS.md` blocks.
+//!
+//! Scope: `table1` at one thread with a small op count over the two cheap
+//! workloads. At `threads=1` the seeded op stream is fully deterministic,
+//! `load_workload` quiesces before the post-load stats snapshot, and
+//! deterministic mode masks the wall-clock cells — so everything that
+//! reaches the renderer is a pure function of (spec, seed, ops).
+
+use std::collections::BTreeMap;
+
+use dude_bench::record::Record;
+use dude_bench::registry::find;
+use dude_bench::render::render_doc;
+use dude_bench::spec::SpecCtx;
+
+fn run_once() -> Record {
+    let spec = find("table1").expect("table1 registered");
+    let ctx = SpecCtx {
+        ops: Some(300),
+        threads: Some(1),
+        deterministic: true,
+        workload_filter: Some(vec!["HashTable".into(), "B+-tree".into()]),
+        ..SpecCtx::quick()
+    };
+    let out = (spec.runner)(&ctx);
+    Record::from_output(
+        spec,
+        &ctx,
+        out,
+        dude_bench::record::EnvMeta {
+            os: "test".into(),
+            arch: "test".into(),
+            cpus: 1,
+            git_sha: "pinned".into(),
+            source: "run".into(),
+        },
+    )
+}
+
+#[test]
+fn two_pinned_seed_runs_render_byte_identical_blocks() {
+    let doc = "# Results\n<!-- bench:table1 -->\nstale\n<!-- /bench:table1 -->\n";
+    let mut renders = Vec::new();
+    for _ in 0..2 {
+        let record = run_once();
+        // The JSON round-trip is part of the contract: render reads what
+        // `dude-bench run` wrote to disk.
+        let json = record.to_json().pretty();
+        let reloaded = Record::from_json_text(&json).expect("record parses");
+        let mut records = BTreeMap::new();
+        records.insert(reloaded.spec.clone(), reloaded);
+        let (out, n) = render_doc(doc, &records).expect("render succeeds");
+        assert_eq!(n, 1);
+        renders.push(out);
+    }
+    assert_eq!(
+        renders[0], renders[1],
+        "deterministic renders must be byte-identical"
+    );
+    // Sanity: both workloads made it into the block and walltime is masked.
+    assert!(renders[0].contains("HashTable"));
+    assert!(renders[0].contains("B+-tree"));
+    assert!(renders[0].contains("| -"));
+    assert!(!renders[0].contains("stale"));
+}
+
+#[test]
+fn deterministic_records_are_byte_identical_json() {
+    let a = run_once().to_json().pretty();
+    let b = run_once().to_json().pretty();
+    assert_eq!(
+        a, b,
+        "BENCH_table1.json must be byte-stable under pinned seeds"
+    );
+}

@@ -108,6 +108,26 @@ impl PipelineStatsSnapshot {
         }
         1.0 - self.group_bytes_stored as f64 / self.group_bytes_raw as f64
     }
+
+    /// Named `(counter, value)` pairs in declaration order — the stable
+    /// machine-readable export the `dude-bench` runner embeds in its
+    /// `BENCH_<spec>.json` records. Keys match the field names.
+    #[must_use]
+    pub fn export(&self) -> [(&'static str, u64); 11] {
+        [
+            ("commits", self.commits),
+            ("abort_markers", self.abort_markers),
+            ("records_persisted", self.records_persisted),
+            ("entries_logged", self.entries_logged),
+            ("groups_persisted", self.groups_persisted),
+            ("entries_before_combine", self.entries_before_combine),
+            ("entries_after_combine", self.entries_after_combine),
+            ("group_bytes_raw", self.group_bytes_raw),
+            ("group_bytes_stored", self.group_bytes_stored),
+            ("txns_reproduced", self.txns_reproduced),
+            ("checkpoints", self.checkpoints),
+        ]
+    }
 }
 
 /// Point-in-time view of the whole decoupled pipeline: the cumulative

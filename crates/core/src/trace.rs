@@ -416,6 +416,19 @@ impl HistogramSnapshot {
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
+
+    /// Named percentile export (`p50`/`p95`/`p99`/`max`/`count`) for
+    /// machine consumers such as the `dude-bench` JSON records.
+    #[must_use]
+    pub fn export(&self) -> [(&'static str, u64); 5] {
+        [
+            ("p50", self.p50()),
+            ("p95", self.p95()),
+            ("p99", self.p99()),
+            ("max", self.max),
+            ("count", self.count),
+        ]
+    }
 }
 
 /// The five ways a pipeline stage blocks, counted by name. Incremented

@@ -138,6 +138,40 @@ pub fn load_workload<S: TxnSystem>(sys: &S, workload: &dyn Workload) {
     sys.quiesce();
 }
 
+/// Per-cell driver hooks around the load/measure phases, consumed by the
+/// `dude-bench` spec runner: `after_load` fires once the load phase has
+/// been quiesced (systems snapshot their counters there so load traffic is
+/// excluded from the measurement), `after_run` fires with the final stats
+/// before the cell is torn down (specs export system-internal counters
+/// there while the instance is still alive).
+#[derive(Default)]
+pub struct RunHooks<'a> {
+    /// Called after [`load_workload`] has returned (post-quiesce).
+    pub after_load: Option<&'a dyn Fn()>,
+    /// Called with the measurement stats before the cell is dropped.
+    pub after_run: Option<&'a dyn Fn(&RunStats)>,
+}
+
+/// Runs one complete cell — load phase, hooks, fixed-ops measurement —
+/// and returns the measurement stats.
+pub fn run_cell<S: TxnSystem>(
+    sys: &S,
+    workload: &dyn Workload,
+    config: RunConfig,
+    ops_per_thread: u64,
+    hooks: RunHooks<'_>,
+) -> RunStats {
+    load_workload(sys, workload);
+    if let Some(h) = hooks.after_load {
+        h();
+    }
+    let stats = run_fixed_ops(sys, workload, config, ops_per_thread);
+    if let Some(h) = hooks.after_run {
+        h(&stats);
+    }
+    stats
+}
+
 /// Runs `workload` for `duration` of wall-clock time.
 pub fn run_timed<S, W>(sys: &S, workload: &W, config: RunConfig, duration: Duration) -> RunStats
 where
@@ -461,6 +495,29 @@ mod tests {
         let p = percentiles(Vec::new());
         assert_eq!(p.samples, 0);
         assert_eq!(p.p99, 0);
+    }
+
+    #[test]
+    fn run_cell_fires_hooks_in_order() {
+        let sys = ToySystem::default();
+        let after_load = std::cell::Cell::new(false);
+        let after_run = std::cell::Cell::new(0u64);
+        let stats = run_cell(
+            &sys,
+            &CounterWorkload,
+            RunConfig {
+                threads: 1,
+                ..RunConfig::default()
+            },
+            50,
+            RunHooks {
+                after_load: Some(&|| after_load.set(true)),
+                after_run: Some(&|s: &RunStats| after_run.set(s.committed)),
+            },
+        );
+        assert!(after_load.get());
+        assert_eq!(after_run.get(), 50);
+        assert_eq!(stats.committed, 50);
     }
 
     #[test]
