@@ -23,6 +23,7 @@ USAGE:
   dude-bench run [<spec>...] [--all] [--quick|--full] [--out-dir DIR]
                  [--seed N] [--threads N] [--ops N] [--deterministic]
                  [--workload LABEL]... [--trace-out PATH]
+                 [--metrics-out PATH]
   dude-bench diff --baseline PATH [--current DIR] [--tolerance PCT]
                   [--include-walltime]
   dude-bench render [--check] [--doc PATH] [--results DIR]
@@ -162,6 +163,11 @@ fn cmd_run(mut args: Args) -> Result<i32, String> {
     let deterministic = args.flag("--deterministic");
     let workloads = args.multi("--workload")?;
     let trace_out = args.opt("--trace-out")?;
+    if let Some(path) = args.opt("--metrics-out")? {
+        // Arms the process-global sink: every DudeTM cell below runs with
+        // a 10 ms sampler and appends its frame series to `path` as JSONL.
+        crate::metrics_out::arm(&path);
+    }
     let names = args.positionals()?;
     let specs: Vec<_> = if all || names.is_empty() {
         if !all && names.is_empty() {

@@ -1,7 +1,7 @@
 //! Shared experiment parameters.
 
 use dude_workloads::LatencyMode;
-use dudetm::{DurabilityMode, ShadowConfig, TraceConfig};
+use dudetm::{DurabilityMode, MetricsConfig, ShadowConfig, TraceConfig};
 
 /// Parameters shared by all experiments; per-experiment binaries override
 /// individual fields.
@@ -37,6 +37,10 @@ pub struct BenchEnv {
     /// Disabled by default so measured throughput carries no recording
     /// overhead; `--trace-out` in the ablation binary enables it.
     pub trace: TraceConfig,
+    /// Continuous metrics sampling. Disabled by default for the same
+    /// reason as `trace`; `--metrics-out` on `dude-bench run` (and the
+    /// `dude-top` live monitor) enable it.
+    pub metrics: MetricsConfig,
 }
 
 impl BenchEnv {
@@ -60,6 +64,7 @@ impl BenchEnv {
             latency_mode: LatencyMode::Off,
             seed: 42,
             trace: TraceConfig::disabled(),
+            metrics: MetricsConfig::disabled(),
         }
     }
 

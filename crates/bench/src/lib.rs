@@ -35,6 +35,7 @@ pub mod env;
 pub mod import;
 pub mod json;
 pub mod manifest;
+pub mod metrics_out;
 pub mod record;
 pub mod registry;
 pub mod render;

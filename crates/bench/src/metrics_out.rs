@@ -1,0 +1,69 @@
+//! Process-global sink for `--metrics-out <path>`: when armed, every
+//! DudeTM cell the measurement loop builds runs with a 10 ms continuous
+//! sampler and appends its captured [`dudetm::MetricsFrame`] series to the
+//! file as JSONL on teardown.
+//!
+//! A global (rather than a field threaded through [`crate::SpecCtx`])
+//! because the spec runners construct systems many layers below the CLI
+//! and the flag is an operator-facing diagnostic, not part of the
+//! experiment definition — specs stay byte-identical with and without it.
+//! Frames from successive cells concatenate in run order; `ts_ns` is a
+//! process-wide monotonic clock, so the combined series stays
+//! time-ordered even though `seq` restarts per cell.
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use dudetm::{MetricsConfig, MetricsRegistry};
+
+static SINK: OnceLock<String> = OnceLock::new();
+
+/// Sampling cadence used for `--metrics-out` captures.
+pub const SAMPLE_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Arms the sink: truncates `path` and makes [`config_for`] return an
+/// enabled sampling configuration from now on. Call at most once, before
+/// any cells run.
+///
+/// # Panics
+///
+/// Panics if the file cannot be created or the sink is already armed.
+pub fn arm(path: &str) {
+    std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("--metrics-out: cannot create {path}: {e}"));
+    SINK.set(path.to_string())
+        .expect("--metrics-out armed twice");
+}
+
+/// Whether `--metrics-out` was given.
+pub fn armed() -> bool {
+    SINK.get().is_some()
+}
+
+/// The metrics configuration a DudeTM cell should run with: a 10 ms
+/// sampler when the sink is armed, otherwise the environment's setting.
+pub fn config_for(env_metrics: MetricsConfig) -> MetricsConfig {
+    if armed() {
+        MetricsConfig::sampling(SAMPLE_INTERVAL)
+    } else {
+        env_metrics
+    }
+}
+
+/// Appends the registry's captured frames to the armed sink (no-op when
+/// not armed). Called once per DudeTM cell after quiesce + final sample.
+pub fn append(registry: &MetricsRegistry) {
+    let Some(path) = SINK.get() else { return };
+    let jsonl = registry.to_jsonl();
+    if jsonl.is_empty() {
+        return;
+    }
+    let mut f = OpenOptions::new()
+        .append(true)
+        .open(path)
+        .unwrap_or_else(|e| panic!("--metrics-out: cannot open {path}: {e}"));
+    f.write_all(jsonl.as_bytes())
+        .unwrap_or_else(|e| panic!("--metrics-out: write to {path} failed: {e}"));
+}

@@ -856,6 +856,7 @@ fn ablation_base_config(env: &BenchEnv, trace: TraceConfig) -> DudeTmConfig {
         reproduce_threads: 1,
         shadow: ShadowConfig::Identity,
         trace,
+        metrics: crate::metrics_out::config_for(env.metrics),
     }
 }
 

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use dude_baselines::{BaselineConfig, Mnemosyne, NvmlLike, VolatileHtm, VolatileStm};
 use dude_nvm::{Nvm, NvmConfig, TimingConfig};
 use dude_workloads::driver::RunStats;
-use dudetm::{DudeTm, DudeTmConfig, DurabilityMode, PipelineStatsSnapshot, ShadowStats};
+use dudetm::{DudeTm, DudeTmConfig, DurabilityMode, PipelineStatsSnapshot, ShadowStats, TmEngine};
 
 use crate::env::BenchEnv;
 use crate::workloads::{run_on, run_on_with, WorkloadKind};
@@ -67,7 +67,9 @@ fn timing(env: &BenchEnv) -> TimingConfig {
     }
 }
 
-fn bench_nvm(env: &BenchEnv) -> Arc<Nvm> {
+/// An emulated NVM device sized and timed for `env` (public so
+/// `dude-top` builds the same device the measurement loop does).
+pub fn bench_nvm(env: &BenchEnv) -> Arc<Nvm> {
     Arc::new(Nvm::new(NvmConfig::for_benchmark(
         env.device_bytes(),
         timing(env),
@@ -88,7 +90,11 @@ pub fn checked(config: DudeTmConfig) -> DudeTmConfig {
     config
 }
 
-fn dude_config(env: &BenchEnv, durability: DurabilityMode) -> DudeTmConfig {
+/// The DudeTM configuration a bench cell runs with. Public so the
+/// `dude-top` live monitor drives the same configuration the measurement
+/// loop does. Metrics sampling is forced on when `--metrics-out` armed
+/// the [`crate::metrics_out`] sink.
+pub fn dude_config(env: &BenchEnv, durability: DurabilityMode) -> DudeTmConfig {
     checked(DudeTmConfig {
         heap_bytes: env.heap_bytes,
         plog_bytes_per_thread: env.plog_bytes,
@@ -102,7 +108,29 @@ fn dude_config(env: &BenchEnv, durability: DurabilityMode) -> DudeTmConfig {
         reproduce_threads: 1,
         shadow: env.shadow,
         trace: env.trace,
+        metrics: crate::metrics_out::config_for(env.metrics),
     })
+}
+
+/// Shared measurement body for every DudeTM variant: run the workload,
+/// quiesce, capture a final metrics frame at the drained state, hand the
+/// frame series to the `--metrics-out` sink, and report the
+/// warmup-corrected pipeline delta.
+fn run_dude_cell<E: TmEngine>(
+    sys: &DudeTm<E>,
+    workload: WorkloadKind,
+    env: &BenchEnv,
+) -> CellResult {
+    let baseline = std::cell::Cell::new(PipelineStatsSnapshot::default());
+    let run = run_on_with(sys, workload, env, || baseline.set(sys.pipeline_stats()));
+    sys.quiesce();
+    sys.sample_metrics_now();
+    crate::metrics_out::append(sys.metrics());
+    CellResult {
+        pipeline: Some(sys.pipeline_stats().delta(&baseline.get())),
+        shadow: Some(sys.shadow_stats()),
+        run,
+    }
 }
 
 fn baseline_config(env: &BenchEnv) -> BaselineConfig {
@@ -139,50 +167,22 @@ pub fn run_combo(kind: SystemKind, workload: WorkloadKind, env: &BenchEnv) -> Ce
         }
         SystemKind::Dude => {
             let sys = DudeTm::create_stm(bench_nvm(env), dude_config(env, env.durability));
-            let baseline = std::cell::Cell::new(PipelineStatsSnapshot::default());
-            let run = run_on_with(&sys, workload, env, || baseline.set(sys.pipeline_stats()));
-            sys.quiesce();
-            CellResult {
-                pipeline: Some(sys.pipeline_stats().delta(&baseline.get())),
-                shadow: Some(sys.shadow_stats()),
-                run,
-            }
+            run_dude_cell(&sys, workload, env)
         }
         SystemKind::DudeInf => {
             let sys = DudeTm::create_stm(
                 bench_nvm(env),
                 dude_config(env, DurabilityMode::AsyncUnbounded),
             );
-            let baseline = std::cell::Cell::new(PipelineStatsSnapshot::default());
-            let run = run_on_with(&sys, workload, env, || baseline.set(sys.pipeline_stats()));
-            sys.quiesce();
-            CellResult {
-                pipeline: Some(sys.pipeline_stats().delta(&baseline.get())),
-                shadow: Some(sys.shadow_stats()),
-                run,
-            }
+            run_dude_cell(&sys, workload, env)
         }
         SystemKind::DudeSync => {
             let sys = DudeTm::create_stm(bench_nvm(env), dude_config(env, DurabilityMode::Sync));
-            let baseline = std::cell::Cell::new(PipelineStatsSnapshot::default());
-            let run = run_on_with(&sys, workload, env, || baseline.set(sys.pipeline_stats()));
-            sys.quiesce();
-            CellResult {
-                pipeline: Some(sys.pipeline_stats().delta(&baseline.get())),
-                shadow: Some(sys.shadow_stats()),
-                run,
-            }
+            run_dude_cell(&sys, workload, env)
         }
         SystemKind::DudeHtm => {
             let sys = DudeTm::create_htm(bench_nvm(env), dude_config(env, env.durability));
-            let baseline = std::cell::Cell::new(PipelineStatsSnapshot::default());
-            let run = run_on_with(&sys, workload, env, || baseline.set(sys.pipeline_stats()));
-            sys.quiesce();
-            CellResult {
-                pipeline: Some(sys.pipeline_stats().delta(&baseline.get())),
-                shadow: Some(sys.shadow_stats()),
-                run,
-            }
+            run_dude_cell(&sys, workload, env)
         }
         SystemKind::Mnemosyne => {
             let sys = Mnemosyne::create(bench_nvm(env), baseline_config(env));

@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use crate::metrics::MetricsConfig;
 use crate::shadow::ShadowConfig;
 use crate::trace::TraceConfig;
 
@@ -189,6 +190,11 @@ pub struct DudeTmConfig {
     /// the pipeline's observable behavior is identical to a build without
     /// the layer.
     pub trace: TraceConfig,
+    /// Continuous-telemetry configuration (background sampler, frame ring,
+    /// Prometheus exposition — see [`crate::metrics`]). Disabled by
+    /// default; when disabled no sampler thread is spawned and the hot
+    /// paths pay one branch.
+    pub metrics: MetricsConfig,
 }
 
 impl DudeTmConfig {
@@ -208,6 +214,7 @@ impl DudeTmConfig {
             reproduce_threads: 1,
             shadow: ShadowConfig::Identity,
             trace: TraceConfig::disabled(),
+            metrics: MetricsConfig::disabled(),
         }
     }
 
@@ -215,6 +222,13 @@ impl DudeTmConfig {
     #[must_use]
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Switches the continuous-telemetry configuration.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -452,6 +466,20 @@ mod tests {
         assert!(c.trace.enabled);
         assert_eq!(c.trace.ring_capacity, 4096);
         c.validate();
+    }
+
+    #[test]
+    fn metrics_builder_composes() {
+        let c = DudeTmConfig::small(1 << 20).with_metrics(MetricsConfig::sampling(
+            std::time::Duration::from_millis(10),
+        ));
+        assert!(c.metrics.enabled);
+        assert_eq!(
+            c.metrics.sample_interval,
+            std::time::Duration::from_millis(10)
+        );
+        c.validate();
+        assert!(!DudeTmConfig::small(1 << 20).metrics.enabled);
     }
 
     #[test]

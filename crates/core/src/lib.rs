@@ -56,6 +56,7 @@ mod config;
 mod engine;
 pub mod frontier;
 pub mod log;
+pub mod metrics;
 mod pipeline;
 mod plog;
 mod recovery;
@@ -72,8 +73,12 @@ pub use config::{ConfigError, DudeTmConfig, DurabilityMode};
 pub use engine::{EngineThread, TmEngine};
 pub use frontier::{shard_of, split_writes, ReproduceFrontier, SHARD_GRAIN_BYTES};
 pub use log::{LogRecord, ParsedRecord};
+pub use metrics::{
+    validate_exposition, Counter, Gauge, MetricKind, MetricsBuilder, MetricsConfig, MetricsFrame,
+    MetricsRegistry, MetricsServer, RecoveryPhase, RecoveryTelemetry,
+};
 pub use plog::{scan_region, PlogRing, PlogSpan};
-pub use recovery::{recover_device, RecoverError, RecoveryReport};
+pub use recovery::{recover_device, recover_device_observed, RecoverError, RecoveryReport};
 pub use runtime::{dtm_abort, DtmThread, DtmTx, DudeTm, NvmLayout, RedoHooks};
 pub use seqtrack::{OrderedCompletions, SequenceTracker};
 pub use shadow::{PagingMode, ShadowConfig, ShadowMem, ShadowStats, ShadowView, PAGE_BYTES};
@@ -112,9 +117,10 @@ impl DudeTm<Stm> {
         nvm: Arc<Nvm>,
         config: DudeTmConfig,
     ) -> Result<(Self, RecoveryReport), RecoverError> {
-        let (layout, report) = recover_device(&nvm, &config)?;
+        let telemetry = RecoveryTelemetry::default();
+        let (layout, report) = recover_device_observed(&nvm, &config, &telemetry)?;
         let engine = Stm::with_initial_clock(StmConfig::default(), report.last_tid);
-        let dude = DudeTm::start(nvm, config, engine, layout, report.last_tid);
+        let dude = DudeTm::start(nvm, config, engine, layout, report.last_tid, telemetry);
         Ok((dude, report))
     }
 }
@@ -134,9 +140,10 @@ impl DudeTm<Htm> {
         nvm: Arc<Nvm>,
         config: DudeTmConfig,
     ) -> Result<(Self, RecoveryReport), RecoverError> {
-        let (layout, report) = recover_device(&nvm, &config)?;
+        let telemetry = RecoveryTelemetry::default();
+        let (layout, report) = recover_device_observed(&nvm, &config, &telemetry)?;
         let engine = Htm::with_initial_clock(HtmConfig::default(), report.last_tid);
-        let dude = DudeTm::start(nvm, config, engine, layout, report.last_tid);
+        let dude = DudeTm::start(nvm, config, engine, layout, report.last_tid, telemetry);
         Ok((dude, report))
     }
 }

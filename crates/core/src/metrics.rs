@@ -1,0 +1,1307 @@
+//! Continuous telemetry: the metrics registry, time-series sampler frames,
+//! Prometheus text exposition, and the optional scrape server.
+//!
+//! PR 4's observability layer ([`crate::trace`]) is post-mortem: histograms
+//! and stall counters you read after the run. This module turns the same
+//! instrumentation into a *continuous* surface (see `DESIGN.md
+//! §Observability` for the full catalog):
+//!
+//! * [`Counter`] / [`Gauge`] — cheap cloneable handles over relaxed
+//!   atomics. The pipeline's hot-path counters ([`crate::PipelineStats`],
+//!   [`crate::trace::StallCounters`]) are built from these, so the registry
+//!   shares the very cells the pipeline increments — registration adds no
+//!   write on any hot path.
+//! * [`MetricsRegistry`] — named handles to every counter, gauge, and
+//!   [`LatencyHistogram`] of one runtime instance, plus a bounded ring of
+//!   sampled [`MetricsFrame`]s. The handle table is immutable after
+//!   [`MetricsBuilder::build`], so reads are lock-free; only the cold
+//!   frame ring (written once per `sample_interval`) takes a mutex.
+//! * [`MetricsFrame`] — one sampler tick: cumulative stage counters,
+//!   watermark/lag gauges, stall counters, and rates derived from the
+//!   previous frame. Exported as JSON lines, parsed back by
+//!   [`MetricsFrame::from_json_line`] (the `dude-top` replay path).
+//! * [`MetricsRegistry::render_prometheus`] — standard text exposition
+//!   (version 0.0.4): counters as `_total`, gauges plain, histograms as
+//!   cumulative `_bucket`/`_sum`/`_count`. [`validate_exposition`] is the
+//!   matching format checker used by tests and CI.
+//! * [`MetricsServer`] — a std-only blocking HTTP listener serving
+//!   `GET /metrics`. Native builds only by design: it blocks OS threads on
+//!   `accept(2)`, which the sim scheduler cannot preempt, so it is never
+//!   spawned through the `dude_nvm::thread` facade.
+//! * [`RecoveryTelemetry`] — phase gauge and progress counters that
+//!   [`crate::recover_device`] variants update while scanning, replaying,
+//!   and wiping, registered under `recovery_*` names.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::trace::{bucket_bounds, HistogramSnapshot, LatencyHistogram, StallSnapshot};
+
+/// A cloneable handle to a monotonically increasing relaxed counter.
+///
+/// Mirrors the `AtomicU64` calls the pipeline already makes
+/// (`fetch_add`/`load`/`store`), so swapping a raw atomic for a `Counter`
+/// changes no call site — it only makes the cell shareable with the
+/// registry.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh zero counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`, returning the previous value.
+    #[inline]
+    pub fn fetch_add(&self, n: u64, order: Ordering) -> u64 {
+        self.0.fetch_add(n, order)
+    }
+
+    /// Reads the current value.
+    #[inline]
+    #[must_use]
+    pub fn load(&self, order: Ordering) -> u64 {
+        self.0.load(order)
+    }
+
+    /// Overwrites the value (test setup; counters are otherwise add-only).
+    #[inline]
+    pub fn store(&self, v: u64, order: Ordering) {
+        self.0.store(v, order);
+    }
+
+    /// Relaxed read shorthand.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.load(Ordering::Relaxed)
+    }
+}
+
+/// A cloneable handle to a last-value gauge (relaxed `u64`).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh zero gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Reads the value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (used for the committed-TID
+    /// high-water mark, which many Perform threads race to advance).
+    #[inline]
+    pub fn fetch_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// Configuration of the continuous-telemetry layer (a field of
+/// [`crate::DudeTmConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsConfig {
+    /// Master switch. When `false` (the default) no sampler thread is
+    /// spawned, no frame is captured, and the pipeline's hot paths pay one
+    /// branch per instrumentation point.
+    pub enabled: bool,
+    /// Sampler cadence. Under `--features sim` this is virtual time on the
+    /// simulated clock, so sampled schedules stay deterministic.
+    pub sample_interval: Duration,
+    /// Bounded capacity of the frame ring; the oldest frames are dropped
+    /// once it fills.
+    pub frame_capacity: usize,
+}
+
+impl MetricsConfig {
+    /// Default capacity of the frame ring (about 40 s of history at the
+    /// 10 ms cadence CI uses).
+    pub const DEFAULT_FRAME_CAPACITY: usize = 4096;
+
+    /// Telemetry off — the default. The sampler is not spawned and the
+    /// pipeline's observable behavior is identical to a build without the
+    /// layer (verified by `tests/metrics_layer.rs`).
+    #[must_use]
+    pub fn disabled() -> Self {
+        MetricsConfig {
+            enabled: false,
+            sample_interval: Duration::from_millis(10),
+            frame_capacity: 0,
+        }
+    }
+
+    /// Telemetry on, sampling a frame every `sample_interval` into a ring
+    /// of [`MetricsConfig::DEFAULT_FRAME_CAPACITY`] frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_interval` is zero.
+    #[must_use]
+    pub fn sampling(sample_interval: Duration) -> Self {
+        assert!(
+            !sample_interval.is_zero(),
+            "an enabled sampler needs a nonzero interval"
+        );
+        MetricsConfig {
+            enabled: true,
+            sample_interval,
+            frame_capacity: Self::DEFAULT_FRAME_CAPACITY,
+        }
+    }
+
+    /// Replaces the frame-ring capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if telemetry is enabled and `frame_capacity` is zero.
+    #[must_use]
+    pub fn with_frame_capacity(mut self, frame_capacity: usize) -> Self {
+        assert!(
+            !self.enabled || frame_capacity > 0,
+            "an enabled sampler needs frame capacity"
+        );
+        self.frame_capacity = frame_capacity;
+        self
+    }
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// What kind of metric a registry entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing counter (`_total` in the exposition).
+    Counter,
+    /// Last-value gauge.
+    Gauge,
+    /// Log-scale latency/size histogram (cumulative buckets in the
+    /// exposition).
+    Histogram,
+}
+
+#[derive(Debug)]
+enum MetricSource {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    label: Option<(&'static str, String)>,
+    source: MetricSource,
+}
+
+impl Entry {
+    fn full_name(&self) -> String {
+        match &self.label {
+            Some((k, v)) => format!("{}{{{}=\"{}\"}}", self.name, k, v),
+            None => self.name.to_string(),
+        }
+    }
+
+    fn kind(&self) -> MetricKind {
+        match self.source {
+            MetricSource::Counter(_) => MetricKind::Counter,
+            MetricSource::Gauge(_) => MetricKind::Gauge,
+            MetricSource::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// Builds a [`MetricsRegistry`]; entries are fixed once built, which is
+/// what makes registry reads lock-free.
+#[derive(Debug)]
+pub struct MetricsBuilder {
+    config: MetricsConfig,
+    entries: Vec<Entry>,
+}
+
+impl MetricsBuilder {
+    /// Starts an empty registry with the given configuration.
+    #[must_use]
+    pub fn new(config: MetricsConfig) -> Self {
+        MetricsBuilder {
+            config,
+            entries: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, entry: Entry) {
+        let full = entry.full_name();
+        assert!(
+            self.entries.iter().all(|e| e.full_name() != full),
+            "duplicate metric registration: {full}"
+        );
+        self.entries.push(entry);
+    }
+
+    /// Registers a counter handle under `name`.
+    pub fn counter(&mut self, name: &'static str, help: &'static str, c: &Counter) {
+        self.push(Entry {
+            name,
+            help,
+            label: None,
+            source: MetricSource::Counter(c.clone()),
+        });
+    }
+
+    /// Registers a gauge handle under `name`.
+    pub fn gauge(&mut self, name: &'static str, help: &'static str, g: &Gauge) {
+        self.push(Entry {
+            name,
+            help,
+            label: None,
+            source: MetricSource::Gauge(g.clone()),
+        });
+    }
+
+    /// Registers a histogram under `name`, optionally with one
+    /// `label="value"` pair (per-shard / per-worker instances share a name
+    /// and differ by label).
+    pub fn histogram(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        label: Option<(&'static str, String)>,
+        h: &Arc<LatencyHistogram>,
+    ) {
+        self.push(Entry {
+            name,
+            help,
+            label,
+            source: MetricSource::Histogram(Arc::clone(h)),
+        });
+    }
+
+    /// Freezes the entry table.
+    #[must_use]
+    pub fn build(self) -> MetricsRegistry {
+        MetricsRegistry {
+            config: self.config,
+            entries: self.entries,
+            frames: Mutex::new(VecDeque::new()),
+            frames_recorded: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Named handles to every metric of one runtime instance plus the bounded
+/// ring of sampled [`MetricsFrame`]s. Obtain via
+/// [`DudeTm::metrics`](crate::DudeTm::metrics).
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    config: MetricsConfig,
+    entries: Vec<Entry>,
+    frames: Mutex<VecDeque<MetricsFrame>>,
+    frames_recorded: AtomicU64,
+}
+
+impl MetricsRegistry {
+    /// The configuration the registry was built with.
+    #[must_use]
+    pub fn config(&self) -> MetricsConfig {
+        self.config
+    }
+
+    /// Whether continuous sampling is on.
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// Full names of every registered metric (labels rendered inline, e.g.
+    /// `replay_apply_ns{shard="0"}`), in registration order.
+    #[must_use]
+    pub fn metric_names(&self) -> Vec<String> {
+        self.entries.iter().map(Entry::full_name).collect()
+    }
+
+    /// `(full_name, kind)` for every registered metric, in registration
+    /// order — the machine-readable catalog the summary-completeness test
+    /// walks.
+    #[must_use]
+    pub fn catalog(&self) -> Vec<(String, MetricKind)> {
+        self.entries
+            .iter()
+            .map(|e| (e.full_name(), e.kind()))
+            .collect()
+    }
+
+    /// Current value of the counter registered as `name`.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|e| match &e.source {
+            MetricSource::Counter(c) if e.name == name => Some(c.get()),
+            _ => None,
+        })
+    }
+
+    /// Current value of the gauge registered as `name`.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|e| match &e.source {
+            MetricSource::Gauge(g) if e.name == name => Some(g.get()),
+            _ => None,
+        })
+    }
+
+    /// Snapshot of the histogram whose *full* name (label included) is
+    /// `full_name`.
+    #[must_use]
+    pub fn histogram_snapshot(&self, full_name: &str) -> Option<HistogramSnapshot> {
+        self.entries.iter().find_map(|e| match &e.source {
+            MetricSource::Histogram(h) if e.full_name() == full_name => Some(h.snapshot()),
+            _ => None,
+        })
+    }
+
+    /// Appends a sampled frame, dropping the oldest once the ring holds
+    /// `frame_capacity` frames.
+    pub fn push_frame(&self, frame: MetricsFrame) {
+        let cap = self.config.frame_capacity.max(1);
+        let mut frames = self.frames.lock();
+        if frames.len() == cap {
+            frames.pop_front();
+        }
+        frames.push_back(frame);
+        self.frames_recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// All frames currently held, oldest first.
+    #[must_use]
+    pub fn frames(&self) -> Vec<MetricsFrame> {
+        self.frames.lock().iter().cloned().collect()
+    }
+
+    /// The most recent frame, if any.
+    #[must_use]
+    pub fn latest_frame(&self) -> Option<MetricsFrame> {
+        self.frames.lock().back().cloned()
+    }
+
+    /// Total frames ever captured (including ones the bounded ring has
+    /// since dropped).
+    #[must_use]
+    pub fn frames_recorded(&self) -> u64 {
+        self.frames_recorded.load(Ordering::Relaxed)
+    }
+
+    /// The held frames as JSON lines (one frame per line, oldest first,
+    /// trailing newline when non-empty) — the `--metrics-out` format.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let frames = self.frames.lock();
+        let mut out = String::new();
+        for f in frames.iter() {
+            out.push_str(&f.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders every registered metric in the Prometheus text exposition
+    /// format (version 0.0.4): `# HELP`/`# TYPE` per family, counters with
+    /// a `_total` suffix, gauges plain, histograms as cumulative
+    /// `_bucket{le="..."}` lines (one per power-of-two bucket bound, then
+    /// `+Inf`) plus `_sum` and `_count`. All names carry the `dudetm_`
+    /// prefix. The output passes [`validate_exposition`].
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut seen: Vec<&str> = Vec::new();
+        for e in &self.entries {
+            let first = !seen.contains(&e.name);
+            if first {
+                seen.push(e.name);
+            }
+            match &e.source {
+                MetricSource::Counter(c) => {
+                    if first {
+                        out.push_str(&format!("# HELP dudetm_{}_total {}\n", e.name, e.help));
+                        out.push_str(&format!("# TYPE dudetm_{}_total counter\n", e.name));
+                    }
+                    out.push_str(&format!("dudetm_{}_total {}\n", e.name, c.get()));
+                }
+                MetricSource::Gauge(g) => {
+                    if first {
+                        out.push_str(&format!("# HELP dudetm_{} {}\n", e.name, e.help));
+                        out.push_str(&format!("# TYPE dudetm_{} gauge\n", e.name));
+                    }
+                    out.push_str(&format!("dudetm_{} {}\n", e.name, g.get()));
+                }
+                MetricSource::Histogram(h) => {
+                    if first {
+                        out.push_str(&format!("# HELP dudetm_{} {}\n", e.name, e.help));
+                        out.push_str(&format!("# TYPE dudetm_{} histogram\n", e.name));
+                    }
+                    let snap = h.snapshot();
+                    let label_prefix = match &e.label {
+                        Some((k, v)) => format!("{k}=\"{v}\","),
+                        None => String::new(),
+                    };
+                    let mut cum = 0u64;
+                    for (b, &n) in snap.buckets.iter().enumerate() {
+                        cum += n;
+                        if b < snap.buckets.len() - 1 {
+                            out.push_str(&format!(
+                                "dudetm_{}_bucket{{{}le=\"{}\"}} {}\n",
+                                e.name,
+                                label_prefix,
+                                bucket_bounds(b).1,
+                                cum
+                            ));
+                        } else {
+                            out.push_str(&format!(
+                                "dudetm_{}_bucket{{{}le=\"+Inf\"}} {}\n",
+                                e.name, label_prefix, cum
+                            ));
+                        }
+                    }
+                    let suffix = match &e.label {
+                        Some((k, v)) => format!("{{{k}=\"{v}\"}}"),
+                        None => String::new(),
+                    };
+                    out.push_str(&format!("dudetm_{}_sum{} {}\n", e.name, suffix, snap.sum));
+                    out.push_str(&format!(
+                        "dudetm_{}_count{} {}\n",
+                        e.name, suffix, snap.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One sampler tick: cumulative stage counters, watermark and lag gauges,
+/// stall counters, and rates derived against the previous frame. Captured
+/// every `sample_interval` by the background sampler (or on demand via
+/// [`DudeTm::sample_metrics_now`](crate::DudeTm::sample_metrics_now));
+/// a final frame is captured after the pipeline drains at shutdown, so the
+/// last frame of a run reconciles exactly with the final
+/// [`crate::PipelineSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsFrame {
+    /// Frame index within the run (0-based, monotonically increasing).
+    pub seq: u64,
+    /// Capture timestamp: nanoseconds on the [`dude_nvm::monotonic_ns`]
+    /// clock (virtual time under `--features sim`).
+    pub ts_ns: u64,
+    /// Nanoseconds since the previous frame (or since the clock epoch for
+    /// the first frame).
+    pub dt_ns: u64,
+    /// Cumulative committed update transactions.
+    pub commits: u64,
+    /// Cumulative abort markers.
+    pub abort_markers: u64,
+    /// Cumulative individual records persisted (ungrouped/sync modes).
+    pub records_persisted: u64,
+    /// Cumulative redo-log entries through the Persist step.
+    pub entries_logged: u64,
+    /// Cumulative groups persisted (grouped mode).
+    pub groups_persisted: u64,
+    /// Cumulative log entries entering combination.
+    pub entries_before_combine: u64,
+    /// Cumulative log entries surviving combination.
+    pub entries_after_combine: u64,
+    /// Cumulative group payload bytes before compression.
+    pub group_bytes_raw: u64,
+    /// Cumulative group payload bytes stored.
+    pub group_bytes_stored: u64,
+    /// Cumulative transactions replayed by Reproduce.
+    pub txns_reproduced: u64,
+    /// Cumulative durable checkpoints.
+    pub checkpoints: u64,
+    /// Cumulative bytes appended to the persistent log rings (record
+    /// framing included).
+    pub log_bytes_flushed: u64,
+    /// Committed-TID high-water mark (the Perform frontier).
+    pub committed: u64,
+    /// Durable watermark `D`.
+    pub durable: u64,
+    /// Reproduced watermark.
+    pub reproduced: u64,
+    /// `committed - durable` (Perform → Persist lag).
+    pub persist_lag: u64,
+    /// `durable - reproduced` (Persist → Reproduce lag).
+    pub reproduce_lag: u64,
+    /// Occupied words across all persistent log rings.
+    pub ring_used_words: u64,
+    /// Minimum per-shard completed TID (the Reproduce frontier).
+    pub frontier_min: u64,
+    /// Spread between the fastest and slowest Reproduce shard.
+    pub frontier_skew: u64,
+    /// Cumulative stall counters (deltas between consecutive frames give
+    /// the per-interval stall activity).
+    pub stalls: StallSnapshot,
+    /// Commits per second over `dt_ns`.
+    pub commit_rate: f64,
+    /// Persisted units (groups + individual records) per second.
+    pub persist_rate: f64,
+    /// Replayed transactions per second.
+    pub replay_rate: f64,
+    /// Log bytes flushed per second.
+    pub flush_bytes_rate: f64,
+}
+
+impl MetricsFrame {
+    /// Fills `seq`, `dt_ns`, and the four rate fields from the previous
+    /// frame (pass `None` for the first frame of a run).
+    #[must_use]
+    pub fn with_rates_from(mut self, prev: Option<&MetricsFrame>) -> MetricsFrame {
+        let (prev_ts, prev_commits, prev_persisted, prev_replayed, prev_bytes, prev_seq) =
+            match prev {
+                Some(p) => (
+                    p.ts_ns,
+                    p.commits,
+                    p.groups_persisted + p.records_persisted,
+                    p.txns_reproduced,
+                    p.log_bytes_flushed,
+                    Some(p.seq),
+                ),
+                None => (0, 0, 0, 0, 0, None),
+            };
+        self.seq = prev_seq.map_or(0, |s| s + 1);
+        self.dt_ns = self.ts_ns.saturating_sub(prev_ts);
+        let scale = if self.dt_ns == 0 {
+            0.0
+        } else {
+            1e9 / self.dt_ns as f64
+        };
+        let persisted = self.groups_persisted + self.records_persisted;
+        self.commit_rate = self.commits.saturating_sub(prev_commits) as f64 * scale;
+        self.persist_rate = persisted.saturating_sub(prev_persisted) as f64 * scale;
+        self.replay_rate = self.txns_reproduced.saturating_sub(prev_replayed) as f64 * scale;
+        self.flush_bytes_rate = self.log_bytes_flushed.saturating_sub(prev_bytes) as f64 * scale;
+        self
+    }
+
+    /// Serializes the frame as one flat JSON object (no newline). Stable
+    /// key set and order; rates printed with three decimals.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"ts_ns\":{},\"dt_ns\":{},\"commits\":{},\"abort_markers\":{},\
+             \"records_persisted\":{},\"entries_logged\":{},\"groups_persisted\":{},\
+             \"entries_before_combine\":{},\"entries_after_combine\":{},\
+             \"group_bytes_raw\":{},\"group_bytes_stored\":{},\"txns_reproduced\":{},\
+             \"checkpoints\":{},\"log_bytes_flushed\":{},\"committed\":{},\"durable\":{},\
+             \"reproduced\":{},\"persist_lag\":{},\"reproduce_lag\":{},\
+             \"ring_used_words\":{},\"frontier_min\":{},\"frontier_skew\":{},\
+             \"stall_perform_log_full\":{},\"stall_persist_ring_full\":{},\
+             \"stall_persist_seq_wait\":{},\"stall_reproduce_starved\":{},\
+             \"stall_checkpoint_wait\":{},\"commit_rate\":{:.3},\"persist_rate\":{:.3},\
+             \"replay_rate\":{:.3},\"flush_bytes_rate\":{:.3}}}",
+            self.seq,
+            self.ts_ns,
+            self.dt_ns,
+            self.commits,
+            self.abort_markers,
+            self.records_persisted,
+            self.entries_logged,
+            self.groups_persisted,
+            self.entries_before_combine,
+            self.entries_after_combine,
+            self.group_bytes_raw,
+            self.group_bytes_stored,
+            self.txns_reproduced,
+            self.checkpoints,
+            self.log_bytes_flushed,
+            self.committed,
+            self.durable,
+            self.reproduced,
+            self.persist_lag,
+            self.reproduce_lag,
+            self.ring_used_words,
+            self.frontier_min,
+            self.frontier_skew,
+            self.stalls.perform_log_full,
+            self.stalls.persist_ring_full,
+            self.stalls.persist_seq_wait,
+            self.stalls.reproduce_starved,
+            self.stalls.checkpoint_wait,
+            self.commit_rate,
+            self.persist_rate,
+            self.replay_rate,
+            self.flush_bytes_rate,
+        )
+    }
+
+    /// Parses one [`MetricsFrame::to_json_line`] line back into a frame.
+    /// Returns `None` on a malformed line or a missing integer key (the
+    /// rate keys default to 0 when absent, for forward compatibility).
+    #[must_use]
+    pub fn from_json_line(line: &str) -> Option<MetricsFrame> {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return None;
+        }
+        let u = |key: &str| -> Option<u64> { json_number(line, key)?.parse().ok() };
+        let f = |key: &str| -> f64 {
+            json_number(line, key)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.0)
+        };
+        Some(MetricsFrame {
+            seq: u("seq")?,
+            ts_ns: u("ts_ns")?,
+            dt_ns: u("dt_ns")?,
+            commits: u("commits")?,
+            abort_markers: u("abort_markers")?,
+            records_persisted: u("records_persisted")?,
+            entries_logged: u("entries_logged")?,
+            groups_persisted: u("groups_persisted")?,
+            entries_before_combine: u("entries_before_combine")?,
+            entries_after_combine: u("entries_after_combine")?,
+            group_bytes_raw: u("group_bytes_raw")?,
+            group_bytes_stored: u("group_bytes_stored")?,
+            txns_reproduced: u("txns_reproduced")?,
+            checkpoints: u("checkpoints")?,
+            log_bytes_flushed: u("log_bytes_flushed")?,
+            committed: u("committed")?,
+            durable: u("durable")?,
+            reproduced: u("reproduced")?,
+            persist_lag: u("persist_lag")?,
+            reproduce_lag: u("reproduce_lag")?,
+            ring_used_words: u("ring_used_words")?,
+            frontier_min: u("frontier_min")?,
+            frontier_skew: u("frontier_skew")?,
+            stalls: StallSnapshot {
+                perform_log_full: u("stall_perform_log_full")?,
+                persist_ring_full: u("stall_persist_ring_full")?,
+                persist_seq_wait: u("stall_persist_seq_wait")?,
+                reproduce_starved: u("stall_reproduce_starved")?,
+                checkpoint_wait: u("stall_checkpoint_wait")?,
+            },
+            commit_rate: f("commit_rate"),
+            persist_rate: f("persist_rate"),
+            replay_rate: f("replay_rate"),
+            flush_bytes_rate: f("flush_bytes_rate"),
+        })
+    }
+}
+
+/// Extracts the raw numeric token after `"key":` in a flat JSON object.
+fn json_number<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    let token = rest[..end].trim();
+    if token.is_empty() {
+        None
+    } else {
+        Some(token)
+    }
+}
+
+/// Checks `text` against the Prometheus text exposition format (version
+/// 0.0.4) as [`MetricsRegistry::render_prometheus`] produces it: every
+/// sample's family must be declared by a preceding `# TYPE` line, values
+/// must parse as numbers, histogram buckets must be cumulative
+/// (non-decreasing in declaration order) and agree with `_count` at
+/// `+Inf`.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation found.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut types: Vec<(String, String)> = Vec::new(); // (family, type)
+                                                       // (family, labels-without-le) -> (last cumulative, +Inf value)
+    let mut hist_cum: Vec<(String, u64, Option<u64>)> = Vec::new();
+    let mut hist_count: Vec<(String, u64)> = Vec::new();
+    let type_of = |types: &[(String, String)], fam: &str| -> Option<String> {
+        types.iter().find(|(f, _)| f == fam).map(|(_, t)| t.clone())
+    };
+    let mut samples = 0usize;
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let fam = it.next().ok_or(format!("line {ln}: bare # TYPE"))?;
+            let ty = it.next().ok_or(format!("line {ln}: # TYPE without type"))?;
+            if !matches!(ty, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {ln}: unknown type '{ty}'"));
+            }
+            if type_of(&types, fam).is_some() {
+                return Err(format!("line {ln}: duplicate # TYPE for '{fam}'"));
+            }
+            types.push((fam.to_string(), ty.to_string()));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        // Sample line: name[{labels}] value
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {ln}: no value: '{line}'"))?;
+        let v: f64 = value
+            .parse()
+            .map_err(|_| format!("line {ln}: bad value '{value}'"))?;
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((n, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or(format!("line {ln}: unterminated labels: '{line}'"))?;
+                (n, labels)
+            }
+            None => (name_labels, ""),
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+        {
+            return Err(format!("line {ln}: invalid metric name '{name}'"));
+        }
+        samples += 1;
+        // Histogram component names resolve to the family they belong to.
+        let (family, component) = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                name.strip_suffix(suf).and_then(|fam| {
+                    (type_of(&types, fam).as_deref() == Some("histogram"))
+                        .then(|| (fam.to_string(), *suf))
+                })
+            })
+            .unwrap_or((name.to_string(), ""));
+        let Some(ty) = type_of(&types, &family) else {
+            return Err(format!("line {ln}: sample '{name}' has no # TYPE"));
+        };
+        if ty == "histogram" && component.is_empty() {
+            return Err(format!(
+                "line {ln}: bare sample '{name}' for histogram family"
+            ));
+        }
+        if ty != "histogram" && v < 0.0 && ty == "counter" {
+            return Err(format!("line {ln}: negative counter '{name}'"));
+        }
+        if component == "_bucket" {
+            let mut le = None;
+            let mut key_labels = String::new();
+            for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                let (k, val) = pair
+                    .split_once('=')
+                    .ok_or(format!("line {ln}: bad label '{pair}'"))?;
+                let val = val.trim_matches('"');
+                if k == "le" {
+                    le = Some(val.to_string());
+                } else {
+                    key_labels.push_str(pair);
+                }
+            }
+            let le = le.ok_or(format!("line {ln}: bucket without le label"))?;
+            let cum = v as u64;
+            let key = format!("{family}{{{key_labels}}}");
+            match hist_cum.iter_mut().find(|(k, _, _)| *k == key) {
+                Some((_, last, inf)) => {
+                    if cum < *last {
+                        return Err(format!(
+                            "line {ln}: bucket counts of '{key}' not cumulative \
+                             ({cum} after {last})"
+                        ));
+                    }
+                    *last = cum;
+                    if le == "+Inf" {
+                        *inf = Some(cum);
+                    }
+                }
+                None => {
+                    hist_cum.push((key, cum, (le == "+Inf").then_some(cum)));
+                }
+            }
+        } else if component == "_count" {
+            let key_labels = labels
+                .split(',')
+                .filter(|p| !p.is_empty() && !p.starts_with("le="))
+                .collect::<String>();
+            hist_count.push((format!("{family}{{{key_labels}}}"), v as u64));
+        }
+    }
+    if samples == 0 {
+        return Err("no samples in exposition".to_string());
+    }
+    for (key, _, inf) in &hist_cum {
+        let inf = inf.ok_or(format!("histogram '{key}' has no +Inf bucket"))?;
+        match hist_count.iter().find(|(k, _)| k == key) {
+            Some((_, count)) if *count != inf => {
+                return Err(format!(
+                    "histogram '{key}': +Inf bucket {inf} != count {count}"
+                ));
+            }
+            Some(_) => {}
+            None => return Err(format!("histogram '{key}' has no _count sample")),
+        }
+    }
+    Ok(())
+}
+
+/// A tiny std-only blocking HTTP listener serving the registry's
+/// Prometheus exposition at `GET /metrics`.
+///
+/// Runs on a plain [`std::thread`] (never the `dude_nvm::thread` facade):
+/// it blocks on `accept(2)`, which a cooperative sim task must not do, so
+/// the server is a native-only convenience and is not part of the
+/// deterministic surface. Dropping the server shuts it down (the drop
+/// self-connects to unblock `accept` and joins the thread).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `bind` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
+    /// `registry`'s exposition until dropped.
+    ///
+    /// # Errors
+    ///
+    /// The bind/spawn [`std::io::Error`].
+    pub fn start(registry: Arc<MetricsRegistry>, bind: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown2 = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("dude-metrics-http".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(mut stream) = stream {
+                        let _ = serve_one(&mut stream, &registry);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock accept(2) with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_one(stream: &mut TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 1024];
+    let mut req = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        req.extend_from_slice(&buf[..n]);
+        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&req);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method == "GET" && path == "/metrics" {
+        ("200 OK", registry.render_prometheus())
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; \
+         charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(resp.as_bytes())
+}
+
+/// Recovery phase reported through [`RecoveryTelemetry::phase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPhase {
+    /// Not recovering.
+    Idle,
+    /// Scanning the log regions for intact records.
+    Scan,
+    /// Replaying the checkpoint's run into the heap image.
+    Replay,
+    /// Wiping dead log records.
+    Wipe,
+    /// Recovery complete.
+    Done,
+}
+
+impl RecoveryPhase {
+    /// The gauge encoding (0 = idle … 4 = done).
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        match self {
+            RecoveryPhase::Idle => 0,
+            RecoveryPhase::Scan => 1,
+            RecoveryPhase::Replay => 2,
+            RecoveryPhase::Wipe => 3,
+            RecoveryPhase::Done => 4,
+        }
+    }
+}
+
+/// Phase gauge and progress counters updated by
+/// [`crate::recover_device_observed`] while a recovery runs, so a long
+/// recovery is observable instead of silent. The recovery entry points on
+/// [`crate::DudeTm`] pass the same handles into the restarted runtime's
+/// registry (under `recovery_*` names), so a post-recovery scrape shows
+/// what the recovery did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryTelemetry {
+    /// Current [`RecoveryPhase`] (see [`RecoveryPhase::as_u64`]).
+    pub phase: Gauge,
+    /// Intact log records found by the scan.
+    pub records_scanned: Counter,
+    /// Log-region bytes scanned.
+    pub bytes_scanned: Counter,
+    /// Transaction IDs replayed into the heap image.
+    pub txns_replayed: Counter,
+    /// Heap bytes written by replay.
+    pub bytes_replayed: Counter,
+    /// Intact records discarded beyond the first ID gap.
+    pub records_discarded: Counter,
+    /// Stale detached records skipped.
+    pub stale_skipped: Counter,
+    /// Log bytes wiped after replay.
+    pub bytes_wiped: Counter,
+}
+
+impl RecoveryTelemetry {
+    /// Sets the phase gauge.
+    pub fn set_phase(&self, phase: RecoveryPhase) {
+        self.phase.set(phase.as_u64());
+    }
+}
+
+/// Live watermark/lag gauges of one runtime instance. The committed-TID
+/// gauge is advanced by the Perform hot path (one `fetch_max` per commit,
+/// behind the metrics-enabled branch); the rest are refreshed by the
+/// sampler from the pipeline's authoritative sources at every tick.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineGauges {
+    /// Committed-TID high-water mark.
+    pub committed_tid: Gauge,
+    /// Durable watermark `D`.
+    pub durable_tid: Gauge,
+    /// Reproduced watermark.
+    pub reproduced_tid: Gauge,
+    /// `committed - durable`.
+    pub persist_lag: Gauge,
+    /// `durable - reproduced`.
+    pub reproduce_lag: Gauge,
+    /// Occupied words across all log rings.
+    pub ring_used_words: Gauge,
+    /// Minimum per-shard completed TID.
+    pub frontier_min: Gauge,
+    /// Fastest-to-slowest shard spread.
+    pub frontier_skew: Gauge,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_handles_share_cells() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.fetch_add(3, Ordering::Relaxed);
+        c2.fetch_add(4, Ordering::Relaxed);
+        assert_eq!(c.get(), 7);
+        let g = Gauge::new();
+        let g2 = g.clone();
+        g.set(5);
+        g2.fetch_max(3); // lower: no effect
+        assert_eq!(g.get(), 5);
+        g2.fetch_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn frame_json_round_trips() {
+        let frame = MetricsFrame {
+            ts_ns: 1_000_000,
+            commits: 42,
+            groups_persisted: 5,
+            records_persisted: 1,
+            txns_reproduced: 40,
+            log_bytes_flushed: 4096,
+            committed: 42,
+            durable: 41,
+            reproduced: 40,
+            persist_lag: 1,
+            reproduce_lag: 1,
+            stalls: StallSnapshot {
+                perform_log_full: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+        .with_rates_from(None);
+        assert_eq!(frame.seq, 0);
+        assert_eq!(frame.dt_ns, 1_000_000);
+        // 42 commits over 1 ms = 42k/s.
+        assert!((frame.commit_rate - 42_000.0).abs() < 1e-6);
+        let line = frame.to_json_line();
+        let parsed = MetricsFrame::from_json_line(&line).expect("parses");
+        assert_eq!(parsed, frame);
+        assert!(MetricsFrame::from_json_line("{\"seq\":1}").is_none());
+        assert!(MetricsFrame::from_json_line("not json").is_none());
+    }
+
+    #[test]
+    fn rates_derive_from_previous_frame() {
+        let first = MetricsFrame {
+            ts_ns: 1_000_000,
+            commits: 100,
+            records_persisted: 100,
+            txns_reproduced: 90,
+            log_bytes_flushed: 1000,
+            ..Default::default()
+        }
+        .with_rates_from(None);
+        let second = MetricsFrame {
+            ts_ns: 2_000_000,
+            commits: 150,
+            records_persisted: 140,
+            txns_reproduced: 130,
+            log_bytes_flushed: 3000,
+            ..Default::default()
+        }
+        .with_rates_from(Some(&first));
+        assert_eq!(second.seq, 1);
+        assert_eq!(second.dt_ns, 1_000_000);
+        assert!((second.commit_rate - 50_000.0).abs() < 1e-6);
+        assert!((second.persist_rate - 40_000.0).abs() < 1e-6);
+        assert!((second.replay_rate - 40_000.0).abs() < 1e-6);
+        assert!((second.flush_bytes_rate - 2_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frame_ring_is_bounded() {
+        let reg = MetricsBuilder::new(
+            MetricsConfig::sampling(Duration::from_millis(1)).with_frame_capacity(3),
+        )
+        .build();
+        for i in 0..5u64 {
+            reg.push_frame(MetricsFrame {
+                seq: i,
+                ..Default::default()
+            });
+        }
+        let frames = reg.frames();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].seq, 2);
+        assert_eq!(reg.frames_recorded(), 5);
+        assert_eq!(reg.latest_frame().expect("latest").seq, 4);
+    }
+
+    #[test]
+    fn registry_lookup_by_name() {
+        let c = Counter::new();
+        c.fetch_add(7, Ordering::Relaxed);
+        let g = Gauge::new();
+        g.set(11);
+        let h = Arc::new(LatencyHistogram::new());
+        h.record(100);
+        let mut b = MetricsBuilder::new(MetricsConfig::disabled());
+        b.counter("commits", "committed transactions", &c);
+        b.gauge("durable_tid", "durable watermark", &g);
+        b.histogram(
+            "replay_apply_ns",
+            "replay apply time",
+            Some(("shard", "0".to_string())),
+            &h,
+        );
+        let reg = b.build();
+        assert_eq!(reg.counter_value("commits"), Some(7));
+        assert_eq!(reg.gauge_value("durable_tid"), Some(11));
+        assert_eq!(reg.counter_value("durable_tid"), None);
+        let snap = reg
+            .histogram_snapshot("replay_apply_ns{shard=\"0\"}")
+            .expect("histogram");
+        assert_eq!(snap.count, 1);
+        assert_eq!(
+            reg.metric_names(),
+            vec!["commits", "durable_tid", "replay_apply_ns{shard=\"0\"}"]
+        );
+        assert_eq!(reg.catalog()[0].1, MetricKind::Counter);
+        assert_eq!(reg.catalog()[2].1, MetricKind::Histogram);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric registration")]
+    fn duplicate_registration_rejected() {
+        let c = Counter::new();
+        let mut b = MetricsBuilder::new(MetricsConfig::disabled());
+        b.counter("commits", "x", &c);
+        b.counter("commits", "y", &c);
+    }
+
+    #[test]
+    fn prometheus_render_passes_validator() {
+        let c = Counter::new();
+        c.fetch_add(5, Ordering::Relaxed);
+        let g = Gauge::new();
+        g.set(3);
+        let h0 = Arc::new(LatencyHistogram::new());
+        let h1 = Arc::new(LatencyHistogram::new());
+        for v in [0u64, 1, 100, 100_000] {
+            h0.record(v);
+        }
+        h1.record(7);
+        let mut b = MetricsBuilder::new(MetricsConfig::disabled());
+        b.counter("commits", "committed transactions", &c);
+        b.gauge("persist_lag", "commit-to-durable lag", &g);
+        b.histogram(
+            "replay_apply_ns",
+            "replay apply time",
+            Some(("shard", "0".to_string())),
+            &h0,
+        );
+        b.histogram(
+            "replay_apply_ns",
+            "replay apply time",
+            Some(("shard", "1".to_string())),
+            &h1,
+        );
+        let text = b.build().render_prometheus();
+        validate_exposition(&text).expect("render passes own validator");
+        assert!(
+            text.contains("# TYPE dudetm_commits_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("dudetm_commits_total 5"), "{text}");
+        assert!(text.contains("# TYPE dudetm_persist_lag gauge"), "{text}");
+        assert!(text.contains("dudetm_persist_lag 3"), "{text}");
+        assert!(
+            text.contains("dudetm_replay_apply_ns_bucket{shard=\"0\",le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dudetm_replay_apply_ns_count{shard=\"1\"} 1"),
+            "{text}"
+        );
+        // TYPE emitted once per family even with two labeled instances.
+        assert_eq!(text.matches("# TYPE dudetm_replay_apply_ns ").count(), 1);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        assert!(validate_exposition("").is_err());
+        assert!(validate_exposition("dudetm_x_total 1\n").is_err()); // no TYPE
+        let no_monotone = "# TYPE h histogram\n\
+             h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 9\nh_count 3\n";
+        assert!(validate_exposition(no_monotone).is_err());
+        let count_mismatch = "# TYPE h histogram\n\
+             h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 9\nh_count 5\n";
+        assert!(validate_exposition(count_mismatch).is_err());
+        let bad_value = "# TYPE c_total counter\nc_total x\n";
+        assert!(validate_exposition(bad_value).is_err());
+        let ok = "# TYPE c_total counter\nc_total 1\n";
+        assert!(validate_exposition(ok).is_ok());
+    }
+
+    #[test]
+    fn metrics_server_serves_exposition() {
+        let c = Counter::new();
+        c.fetch_add(9, Ordering::Relaxed);
+        let mut b = MetricsBuilder::new(MetricsConfig::disabled());
+        b.counter("commits", "committed transactions", &c);
+        let reg = Arc::new(b.build());
+        let server = MetricsServer::start(Arc::clone(&reg), "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let fetch = |path: &str| -> String {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("request");
+            let mut resp = String::new();
+            s.read_to_string(&mut resp).expect("response");
+            resp
+        };
+        let resp = fetch("/metrics");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        let body = resp.split("\r\n\r\n").nth(1).expect("body");
+        validate_exposition(body).expect("served exposition validates");
+        assert!(body.contains("dudetm_commits_total 9"), "{body}");
+        let missing = fetch("/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        drop(server); // shuts down and joins without hanging
+    }
+
+    #[test]
+    fn recovery_phase_encoding() {
+        let t = RecoveryTelemetry::default();
+        assert_eq!(t.phase.get(), 0);
+        t.set_phase(RecoveryPhase::Replay);
+        assert_eq!(t.phase.get(), RecoveryPhase::Replay.as_u64());
+        assert_eq!(RecoveryPhase::Done.as_u64(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero interval")]
+    fn zero_sample_interval_rejected() {
+        let _ = MetricsConfig::sampling(Duration::from_secs(0));
+    }
+
+    #[test]
+    fn disabled_config_is_default() {
+        assert_eq!(MetricsConfig::default(), MetricsConfig::disabled());
+        assert!(!MetricsConfig::disabled().enabled);
+        assert!(MetricsConfig::sampling(Duration::from_millis(10)).enabled);
+    }
+}

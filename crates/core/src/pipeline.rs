@@ -115,6 +115,10 @@ fn try_stage_record(
         .stats
         .entries_logged
         .fetch_add(writes.len() as u64, Ordering::Relaxed);
+    shared
+        .stats
+        .log_bytes_flushed
+        .fetch_add(span.words * 8, Ordering::Relaxed);
     Ok(Batch {
         first_tid: tid,
         last_tid: tid,
@@ -507,6 +511,10 @@ pub(crate) fn persist_flush_worker(
             .stats
             .groups_persisted
             .fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .log_bytes_flushed
+            .fetch_add(span.words * 8, Ordering::Relaxed);
         publisher.publish(
             work.seq,
             Batch {

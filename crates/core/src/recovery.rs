@@ -23,11 +23,13 @@
 //! the checkpoint is unique: records never overlap, so two qualifying runs
 //! would be adjacent and would have merged.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use dude_nvm::Nvm;
 
 use crate::config::DudeTmConfig;
+use crate::metrics::{RecoveryPhase, RecoveryTelemetry};
 use crate::plog::scan_region;
 use crate::runtime::{
     NvmLayout, META_MAGIC, META_MAGIC_WORD, META_REPRODUCED, META_THREADS, META_VERSION,
@@ -108,6 +110,25 @@ pub fn recover_device(
     nvm: &Arc<Nvm>,
     config: &DudeTmConfig,
 ) -> Result<(NvmLayout, RecoveryReport), RecoverError> {
+    recover_device_observed(nvm, config, &RecoveryTelemetry::default())
+}
+
+/// As [`recover_device`], reporting phase progress through `telemetry`
+/// while it runs: the phase gauge steps scan → replay → wipe → done, and
+/// the `recovery_*` counters advance as records are scanned, replayed,
+/// discarded, skipped, and wiped — so a long recovery is observable
+/// mid-flight. [`DudeTm::recover_stm`](crate::DudeTm::recover_stm) /
+/// [`DudeTm::recover_htm`](crate::DudeTm::recover_htm) pass the same
+/// handles into the restarted runtime's metrics registry.
+///
+/// # Errors
+///
+/// See [`RecoverError`].
+pub fn recover_device_observed(
+    nvm: &Arc<Nvm>,
+    config: &DudeTmConfig,
+    telemetry: &RecoveryTelemetry,
+) -> Result<(NvmLayout, RecoveryReport), RecoverError> {
     config.validate();
     let layout = NvmLayout::compute(nvm.size_bytes(), config);
     if nvm.read_word(layout.meta.start() + META_MAGIC_WORD * 8) != META_MAGIC {
@@ -128,10 +149,18 @@ pub fn recover_device(
 
     // Collect every intact record from every log ring, in transaction-ID
     // order.
+    telemetry.set_phase(RecoveryPhase::Scan);
     let scan_start = dude_nvm::monotonic_ns();
     let mut records = Vec::new();
     for &region in &layout.plogs {
-        records.extend(scan_region(nvm, region));
+        let found = scan_region(nvm, region);
+        telemetry
+            .records_scanned
+            .fetch_add(found.len() as u64, Ordering::Relaxed);
+        telemetry
+            .bytes_scanned
+            .fetch_add(region.len(), Ordering::Relaxed);
+        records.extend(found);
     }
     records.sort_by_key(|rec| rec.first_tid);
     let scan_ns = dude_nvm::monotonic_ns().saturating_sub(scan_start);
@@ -174,6 +203,7 @@ pub fn recover_device(
             _ => runs.push(vec![rec]),
         }
     }
+    telemetry.set_phase(RecoveryPhase::Replay);
     let replay_start = dude_nvm::monotonic_ns();
     let mut last_tid = checkpoint;
     let mut replayed = 0u64;
@@ -184,12 +214,19 @@ pub fn recover_device(
         let last = run.last().expect("non-empty run").last_tid;
         if last < checkpoint {
             stale_skipped += run.len() as u64;
+            telemetry
+                .stale_skipped
+                .fetch_add(run.len() as u64, Ordering::Relaxed);
         } else if first > checkpoint + 1 {
             // Beyond the gap; each discarded record may cover a group.
-            discarded += run
+            let dropped = run
                 .iter()
                 .map(|rec| rec.last_tid - rec.first_tid + 1)
                 .sum::<u64>();
+            discarded += dropped;
+            telemetry
+                .records_discarded
+                .fetch_add(dropped, Ordering::Relaxed);
         } else {
             for rec in &run {
                 for &(addr, val) in &rec.writes {
@@ -197,16 +234,23 @@ pub fn recover_device(
                     nvm.write_word(off, val);
                     nvm.flush(off, 8);
                 }
+                telemetry
+                    .bytes_replayed
+                    .fetch_add(8 * rec.writes.len() as u64, Ordering::Relaxed);
             }
             // Count only IDs not already covered by the checkpoint.
             replayed = last - checkpoint;
             last_tid = last;
+            telemetry
+                .txns_replayed
+                .fetch_add(replayed, Ordering::Relaxed);
         }
     }
     nvm.write_word(layout.meta.start() + META_REPRODUCED * 8, last_tid);
     nvm.flush(layout.meta.start() + META_REPRODUCED * 8, 8);
     nvm.fence();
     let replay_ns = dude_nvm::monotonic_ns().saturating_sub(replay_start);
+    telemetry.set_phase(RecoveryPhase::Wipe);
     let wipe_start = dude_nvm::monotonic_ns();
 
     // Wipe the log regions. Every surviving record is now at or below the
@@ -223,12 +267,14 @@ pub fn recover_device(
             if nvm.read_word(off) != 0 {
                 nvm.write_word(off, 0);
                 nvm.flush(off, 8);
+                telemetry.bytes_wiped.fetch_add(8, Ordering::Relaxed);
             }
             off += 8;
         }
     }
     nvm.fence();
     let wipe_ns = dude_nvm::monotonic_ns().saturating_sub(wipe_start);
+    telemetry.set_phase(RecoveryPhase::Done);
 
     let report = RecoveryReport {
         checkpoint,

@@ -3,8 +3,9 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
 use dude_nvm::{Nvm, Region};
 use dude_txapi::{PAddr, TxAbort, TxResult, Txn, TxnOutcome, TxnSystem, TxnThread};
 use parking_lot::Mutex;
@@ -14,6 +15,9 @@ use crate::config::{DudeTmConfig, DurabilityMode};
 use crate::engine::{EngineThread, TmEngine};
 use crate::frontier::ReproduceFrontier;
 use crate::log::{serialize_abort, serialize_commit, LogRecord};
+use crate::metrics::{
+    MetricsBuilder, MetricsFrame, MetricsRegistry, PipelineGauges, RecoveryTelemetry,
+};
 use crate::pipeline::{
     persist_flush_worker, persist_sequencer, persist_worker, reproduce_router,
     reproduce_shard_worker, reproduce_worker, Batch, GroupPublisher, GroupWork, ShardWork,
@@ -83,6 +87,8 @@ pub struct Shared {
     pub(crate) frontier: Arc<ReproduceFrontier>,
     pub(crate) stats: PipelineStats,
     pub(crate) trace: Trace,
+    pub(crate) metrics: Arc<MetricsRegistry>,
+    pub(crate) gauges: PipelineGauges,
 }
 
 /// Where a thread's committed redo logs go.
@@ -140,6 +146,10 @@ impl RedoHooks {
             .fetch_add(1, Ordering::Relaxed);
         self.shared
             .stats
+            .log_bytes_flushed
+            .fetch_add(span.words * 8, Ordering::Relaxed);
+        self.shared
+            .stats
             .entries_logged
             .fetch_add(writes.len() as u64, Ordering::Relaxed);
         self.shared.tracker.mark(tid);
@@ -164,6 +174,10 @@ impl dude_stm::TxHooks for RedoHooks {
             return;
         };
         self.shared.stats.commits.fetch_add(1, Ordering::Relaxed);
+        // Sole per-commit metrics cost: one branch when sampling is off.
+        if self.shared.metrics.enabled() {
+            self.shared.gauges.committed_tid.fetch_max(tid);
+        }
         if let Some(h) = &self.history {
             h.record(tid, false, &self.staged);
         }
@@ -212,6 +226,10 @@ impl dude_stm::TxHooks for RedoHooks {
             .stats
             .abort_markers
             .fetch_add(1, Ordering::Relaxed);
+        // A wasted TID still advances the commit clock.
+        if self.shared.metrics.enabled() {
+            self.shared.gauges.committed_tid.fetch_max(tid);
+        }
         match &self.sink {
             Sink::Channel(tx) => {
                 let _ = tx.send(LogRecord::Abort { tid });
@@ -241,6 +259,9 @@ pub struct DudeTm<E: TmEngine> {
     history: Mutex<Option<Arc<CommitHistory>>>,
     next_slot: AtomicUsize,
     workers: Mutex<Vec<dude_nvm::thread::JoinHandle<()>>>,
+    /// Stop signal + handle for the metrics sampler (`None` when metrics
+    /// are disabled, or after shutdown).
+    sampler: Mutex<Option<(Sender<()>, dude_nvm::thread::JoinHandle<()>)>>,
     name: &'static str,
 }
 
@@ -277,17 +298,20 @@ impl<E: TmEngine> DudeTm<E> {
             config.max_threads as u64,
         );
         nvm.persist(layout.meta.start(), META_WORDS * 8);
-        Self::start(nvm, config, engine, layout, 0)
+        Self::start(nvm, config, engine, layout, 0, RecoveryTelemetry::default())
     }
 
     /// Starts a runtime over an already-recovered device. `start_tid` is the
     /// last reproduced transaction ID (see [`crate::recover_device`]).
+    /// `recovery` carries the telemetry handles the recovery pass (if any)
+    /// already incremented, so the registry exposes its final counts.
     pub(crate) fn start(
         nvm: Arc<Nvm>,
         config: DudeTmConfig,
         engine: E,
         layout: NvmLayout,
         start_tid: u64,
+        recovery: RecoveryTelemetry,
     ) -> Self {
         let rings: Vec<Arc<PlogRing>> = layout
             .plogs
@@ -295,6 +319,17 @@ impl<E: TmEngine> DudeTm<E> {
             .map(|&r| Arc::new(PlogRing::new(Arc::clone(&nvm), r)))
             .collect();
         let reproduced = Arc::new(AtomicU64::new(start_tid));
+        let stats = PipelineStats::default();
+        let trace = Trace::new(
+            config.trace,
+            config.reproduce_threads,
+            config.persist_flush_workers,
+        );
+        let gauges = PipelineGauges::default();
+        gauges.committed_tid.set(start_tid);
+        gauges.durable_tid.set(start_tid);
+        gauges.reproduced_tid.set(start_tid);
+        let metrics = Arc::new(build_registry(&config, &stats, &trace, &gauges, &recovery));
         let shared = Arc::new(Shared {
             nvm: Arc::clone(&nvm),
             config,
@@ -304,12 +339,10 @@ impl<E: TmEngine> DudeTm<E> {
             tracker: SequenceTracker::starting_at(start_tid),
             reproduced: Arc::clone(&reproduced),
             frontier: Arc::new(ReproduceFrontier::new(config.reproduce_threads, start_tid)),
-            stats: PipelineStats::default(),
-            trace: Trace::new(
-                config.trace,
-                config.reproduce_threads,
-                config.persist_flush_workers,
-            ),
+            stats,
+            trace,
+            metrics,
+            gauges,
         });
         let shadow = Arc::new(ShadowMem::new(
             config.shadow,
@@ -408,6 +441,30 @@ impl<E: TmEngine> DudeTm<E> {
             }));
         }
 
+        // Continuous sampler: one frame per interval into the registry's
+        // bounded ring. Runs through the `dude_nvm::thread` facade so it is
+        // a deterministic task (with a virtual clock) under `--features
+        // sim`; the stop channel doubles as the shutdown signal and the
+        // worker captures one final frame on the way out so the series
+        // always ends at the drained state.
+        let sampler = if config.metrics.enabled {
+            let (stop_tx, stop_rx) = bounded::<()>(1);
+            let shared2 = Arc::clone(&shared);
+            let interval = config.metrics.sample_interval.max(Duration::from_millis(1));
+            let handle = dude_nvm::thread::spawn_named("dude-metrics", move || loop {
+                match stop_rx.recv_timeout(interval) {
+                    Err(RecvTimeoutError::Timeout) => sample_now(&shared2),
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => {
+                        sample_now(&shared2);
+                        break;
+                    }
+                }
+            });
+            Some((stop_tx, handle))
+        } else {
+            None
+        };
+
         DudeTm {
             engine,
             shadow,
@@ -417,6 +474,7 @@ impl<E: TmEngine> DudeTm<E> {
             history: Mutex::new(None),
             next_slot: AtomicUsize::new(0),
             workers: Mutex::new(workers),
+            sampler: Mutex::new(sampler),
             name: match config.durability {
                 DurabilityMode::Async { .. } => "DudeTM",
                 DurabilityMode::AsyncUnbounded => "DudeTM-Inf",
@@ -464,11 +522,49 @@ impl<E: TmEngine> DudeTm<E> {
         &self.shared.trace
     }
 
+    /// The metrics registry: named handles to every counter, gauge, and
+    /// histogram of this runtime plus the sampled time series (see
+    /// [`crate::metrics`]). Always present; the background sampler only
+    /// runs when [`DudeTmConfig::metrics`] enables it.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.metrics
+    }
+
+    /// Captures one [`MetricsFrame`] immediately, outside the sampler's
+    /// cadence. No-op when metrics are disabled. Call after
+    /// [`DudeTm::quiesce`] to make the series end on exact final values.
+    pub fn sample_metrics_now(&self) {
+        if self.shared.metrics.enabled() {
+            sample_now(&self.shared);
+        }
+    }
+
     /// Point-in-time view of the whole pipeline: the per-stage counters
     /// plus the committed/durable/reproduced watermarks and per-ring log
     /// occupancy. The watermarks are sampled independently (racily) — use
     /// after [`DudeTm::quiesce`] for exact values, or live to observe lag.
     pub fn stats_snapshot(&self) -> PipelineSnapshot {
+        let trace = &self.shared.trace;
+        let mut histograms = vec![
+            (
+                "commit_latency_ns".to_string(),
+                trace.commit_latency_ns.snapshot(),
+            ),
+            (
+                "persist_barrier_ns".to_string(),
+                trace.persist_barrier_ns.snapshot(),
+            ),
+            (
+                "group_flush_bytes".to_string(),
+                trace.group_flush_bytes.snapshot(),
+            ),
+        ];
+        for (s, h) in trace.replay_apply_ns.iter().enumerate() {
+            histograms.push((format!("replay_apply_ns{{shard=\"{s}\"}}"), h.snapshot()));
+        }
+        for (w, h) in trace.flush_worker_ns.iter().enumerate() {
+            histograms.push((format!("flush_worker_ns{{worker=\"{w}\"}}"), h.snapshot()));
+        }
         PipelineSnapshot {
             counters: self.shared.stats.snapshot(),
             committed: self.engine.clock_now(),
@@ -478,6 +574,7 @@ impl<E: TmEngine> DudeTm<E> {
             shard_completed: self.shared.frontier.snapshot_completed(),
             shard_words_applied: self.shared.frontier.snapshot_words_applied(),
             stalls: self.shared.trace.stalls.snapshot(),
+            histograms,
         }
     }
 
@@ -513,16 +610,10 @@ impl<E: TmEngine> DudeTm<E> {
     /// [`DtmThread`]s must be dropped first (enforced by the borrow
     /// checker, since they borrow the runtime).
     pub fn shutdown(&mut self) {
-        self.record_senders.clear();
-        *self.batch_sender.lock() = None;
-        for handle in self.workers.lock().drain(..) {
-            let _ = handle.join();
-        }
+        self.halt();
     }
-}
 
-impl<E: TmEngine> Drop for DudeTm<E> {
-    fn drop(&mut self) {
+    fn halt(&mut self) {
         // Disconnect perform→persist channels.
         self.record_senders.clear();
         // Disconnect our copy of the persist→reproduce sender (persist
@@ -531,7 +622,289 @@ impl<E: TmEngine> Drop for DudeTm<E> {
         for handle in self.workers.lock().drain(..) {
             let _ = handle.join();
         }
+        // Stop the sampler only after the pipeline workers have drained:
+        // its shutdown frame then reconciles exactly with the final
+        // snapshot instead of racing the last checkpoint.
+        if let Some((stop, handle)) = self.sampler.lock().take() {
+            let _ = stop.send(());
+            drop(stop);
+            let _ = handle.join();
+        }
     }
+}
+
+impl<E: TmEngine> Drop for DudeTm<E> {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Builds the runtime's metrics registry: every pipeline counter, lag
+/// gauge, stage histogram, and recovery-telemetry handle under its stable
+/// exposition name. The registry shares the live cells — registration
+/// copies `Arc`s, never values — so reads always see current state.
+fn build_registry(
+    config: &DudeTmConfig,
+    stats: &PipelineStats,
+    trace: &Trace,
+    gauges: &PipelineGauges,
+    recovery: &RecoveryTelemetry,
+) -> MetricsRegistry {
+    let mut b = MetricsBuilder::new(config.metrics);
+    b.counter(
+        "commits",
+        "transactions committed by Perform",
+        &stats.commits,
+    );
+    b.counter(
+        "abort_markers",
+        "wasted-TID abort markers logged",
+        &stats.abort_markers,
+    );
+    b.counter(
+        "records_persisted",
+        "redo-log records made durable",
+        &stats.records_persisted,
+    );
+    b.counter(
+        "entries_logged",
+        "write entries staged into redo logs",
+        &stats.entries_logged,
+    );
+    b.counter(
+        "groups_persisted",
+        "persist groups flushed",
+        &stats.groups_persisted,
+    );
+    b.counter(
+        "entries_before_combine",
+        "group entries before write combining",
+        &stats.entries_before_combine,
+    );
+    b.counter(
+        "entries_after_combine",
+        "group entries after write combining",
+        &stats.entries_after_combine,
+    );
+    b.counter(
+        "group_bytes_raw",
+        "group payload bytes before compression",
+        &stats.group_bytes_raw,
+    );
+    b.counter(
+        "group_bytes_stored",
+        "group payload bytes stored in log rings",
+        &stats.group_bytes_stored,
+    );
+    b.counter(
+        "txns_reproduced",
+        "transactions replayed onto the heap image",
+        &stats.txns_reproduced,
+    );
+    b.counter(
+        "checkpoints",
+        "reproduced-ID checkpoints persisted",
+        &stats.checkpoints,
+    );
+    b.counter(
+        "log_bytes_flushed",
+        "bytes written into persistent log rings",
+        &stats.log_bytes_flushed,
+    );
+    b.counter(
+        "stall_perform_log_full",
+        "Perform blocked on a full volatile-log buffer",
+        &trace.stalls.perform_log_full,
+    );
+    b.counter(
+        "stall_persist_ring_full",
+        "Persist blocked on a full persistent log ring",
+        &trace.stalls.persist_ring_full,
+    );
+    b.counter(
+        "stall_persist_seq_wait",
+        "flushed groups waited for in-order publication",
+        &trace.stalls.persist_seq_wait,
+    );
+    b.counter(
+        "stall_reproduce_starved",
+        "Reproduce timed out waiting for durable batches",
+        &trace.stalls.reproduce_starved,
+    );
+    b.counter(
+        "stall_checkpoint_wait",
+        "checkpoints waited for lagging shards",
+        &trace.stalls.checkpoint_wait,
+    );
+    b.gauge(
+        "committed_tid",
+        "highest transaction ID committed",
+        &gauges.committed_tid,
+    );
+    b.gauge(
+        "durable_tid",
+        "durable watermark (every TID at or below is persistent)",
+        &gauges.durable_tid,
+    );
+    b.gauge(
+        "reproduced_tid",
+        "reproduced watermark (applied to the heap image)",
+        &gauges.reproduced_tid,
+    );
+    b.gauge(
+        "persist_lag",
+        "committed minus durable TIDs",
+        &gauges.persist_lag,
+    );
+    b.gauge(
+        "reproduce_lag",
+        "durable minus reproduced TIDs",
+        &gauges.reproduce_lag,
+    );
+    b.gauge(
+        "ring_used_words",
+        "total occupied words across persistent log rings",
+        &gauges.ring_used_words,
+    );
+    b.gauge(
+        "frontier_min",
+        "lowest per-shard reproduce frontier",
+        &gauges.frontier_min,
+    );
+    b.gauge(
+        "frontier_skew",
+        "spread between fastest and slowest reproduce shard",
+        &gauges.frontier_skew,
+    );
+    b.histogram(
+        "commit_latency_ns",
+        "Perform-side commit latency",
+        None,
+        &trace.commit_latency_ns,
+    );
+    b.histogram(
+        "persist_barrier_ns",
+        "Persist flush+fence barrier latency",
+        None,
+        &trace.persist_barrier_ns,
+    );
+    b.histogram(
+        "group_flush_bytes",
+        "bytes flushed per persist group",
+        None,
+        &trace.group_flush_bytes,
+    );
+    for (s, h) in trace.replay_apply_ns.iter().enumerate() {
+        b.histogram(
+            "replay_apply_ns",
+            "Reproduce apply latency per shard",
+            Some(("shard", s.to_string())),
+            h,
+        );
+    }
+    for (w, h) in trace.flush_worker_ns.iter().enumerate() {
+        b.histogram(
+            "flush_worker_ns",
+            "group flush latency per persist flush worker",
+            Some(("worker", w.to_string())),
+            h,
+        );
+    }
+    b.gauge(
+        "recovery_phase",
+        "recovery phase (0 idle, 1 scan, 2 replay, 3 wipe, 4 done)",
+        &recovery.phase,
+    );
+    b.counter(
+        "recovery_records_scanned",
+        "intact log records found while scanning",
+        &recovery.records_scanned,
+    );
+    b.counter(
+        "recovery_bytes_scanned",
+        "log-region bytes scanned during recovery",
+        &recovery.bytes_scanned,
+    );
+    b.counter(
+        "recovery_txns_replayed",
+        "transactions replayed during recovery",
+        &recovery.txns_replayed,
+    );
+    b.counter(
+        "recovery_bytes_replayed",
+        "heap bytes rewritten by recovery replay",
+        &recovery.bytes_replayed,
+    );
+    b.counter(
+        "recovery_records_discarded",
+        "records discarded beyond the durable gap",
+        &recovery.records_discarded,
+    );
+    b.counter(
+        "recovery_stale_skipped",
+        "stale recycled records skipped during recovery",
+        &recovery.stale_skipped,
+    );
+    b.counter(
+        "recovery_bytes_wiped",
+        "dead log bytes wiped during recovery",
+        &recovery.bytes_wiped,
+    );
+    b.build()
+}
+
+/// Captures one frame of the whole pipeline: per-stage cumulative
+/// counters, the three watermarks, lag and occupancy gauges (refreshed as
+/// a side effect so the Prometheus exposition matches the frame), and
+/// stall counts. Rates are derived against the previous frame in the
+/// ring.
+fn sample_now(shared: &Shared) {
+    let counters = shared.stats.snapshot();
+    let committed = shared.gauges.committed_tid.get();
+    let durable = shared.tracker.watermark();
+    let reproduced = shared.reproduced.load(Ordering::Acquire);
+    let ring_used_words: u64 = shared.rings.iter().map(|r| r.used_words()).sum();
+    let completed = shared.frontier.snapshot_completed();
+    let frontier_min = completed.iter().copied().min().unwrap_or(reproduced);
+    let frontier_max = completed.iter().copied().max().unwrap_or(reproduced);
+    let frontier_skew = frontier_max - frontier_min;
+    let persist_lag = committed.saturating_sub(durable);
+    let reproduce_lag = durable.saturating_sub(reproduced);
+    let g = &shared.gauges;
+    g.durable_tid.set(durable);
+    g.reproduced_tid.set(reproduced);
+    g.persist_lag.set(persist_lag);
+    g.reproduce_lag.set(reproduce_lag);
+    g.ring_used_words.set(ring_used_words);
+    g.frontier_min.set(frontier_min);
+    g.frontier_skew.set(frontier_skew);
+    let frame = MetricsFrame {
+        ts_ns: dude_nvm::monotonic_ns(),
+        commits: counters.commits,
+        abort_markers: counters.abort_markers,
+        records_persisted: counters.records_persisted,
+        entries_logged: counters.entries_logged,
+        groups_persisted: counters.groups_persisted,
+        entries_before_combine: counters.entries_before_combine,
+        entries_after_combine: counters.entries_after_combine,
+        group_bytes_raw: counters.group_bytes_raw,
+        group_bytes_stored: counters.group_bytes_stored,
+        txns_reproduced: counters.txns_reproduced,
+        checkpoints: counters.checkpoints,
+        log_bytes_flushed: counters.log_bytes_flushed,
+        committed,
+        durable,
+        reproduced,
+        persist_lag,
+        reproduce_lag,
+        ring_used_words,
+        frontier_min,
+        frontier_skew,
+        stalls: shared.trace.stalls.snapshot(),
+        ..MetricsFrame::default()
+    }
+    .with_rates_from(shared.metrics.latest_frame().as_ref());
+    shared.metrics.push_frame(frame);
 }
 
 impl<E: TmEngine> TxnSystem for DudeTm<E> {

@@ -2,27 +2,29 @@
 //!
 //! Aggregate counters and watermarks live here; the richer per-event layer
 //! (histograms, stall counters, the trace ring) lives in [`crate::trace`]
-//! and its snapshot rides along in [`PipelineSnapshot::stalls`]. See
-//! `DESIGN.md §Observability`.
+//! and its snapshot rides along in [`PipelineSnapshot::stalls`] and
+//! [`PipelineSnapshot::histograms`]. See `DESIGN.md §Observability`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::metrics::Counter;
+use crate::trace::{HistogramSnapshot, StallSnapshot};
 
-use crate::trace::StallSnapshot;
-
-/// Relaxed counters shared by the pipeline stages.
+/// Relaxed counters shared by the pipeline stages. The fields are
+/// [`Counter`] handles, so the metrics registry shares the very cells the
+/// stages increment — no double accounting, no extra hot-path write.
 #[derive(Debug, Default)]
 pub struct PipelineStats {
-    pub(crate) commits: AtomicU64,
-    pub(crate) abort_markers: AtomicU64,
-    pub(crate) records_persisted: AtomicU64,
-    pub(crate) entries_logged: AtomicU64,
-    pub(crate) groups_persisted: AtomicU64,
-    pub(crate) entries_before_combine: AtomicU64,
-    pub(crate) entries_after_combine: AtomicU64,
-    pub(crate) group_bytes_raw: AtomicU64,
-    pub(crate) group_bytes_stored: AtomicU64,
-    pub(crate) txns_reproduced: AtomicU64,
-    pub(crate) checkpoints: AtomicU64,
+    pub(crate) commits: Counter,
+    pub(crate) abort_markers: Counter,
+    pub(crate) records_persisted: Counter,
+    pub(crate) entries_logged: Counter,
+    pub(crate) groups_persisted: Counter,
+    pub(crate) entries_before_combine: Counter,
+    pub(crate) entries_after_combine: Counter,
+    pub(crate) group_bytes_raw: Counter,
+    pub(crate) group_bytes_stored: Counter,
+    pub(crate) txns_reproduced: Counter,
+    pub(crate) checkpoints: Counter,
+    pub(crate) log_bytes_flushed: Counter,
 }
 
 /// Point-in-time copy of [`PipelineStats`].
@@ -51,23 +53,28 @@ pub struct PipelineStatsSnapshot {
     pub txns_reproduced: u64,
     /// Durable checkpoints written by Reproduce.
     pub checkpoints: u64,
+    /// Bytes appended to the persistent log rings (record framing
+    /// included) — the flushed-log volume the `bytes flushed/s` telemetry
+    /// rate derives from.
+    pub log_bytes_flushed: u64,
 }
 
 impl PipelineStats {
     /// Takes a point-in-time copy.
     pub fn snapshot(&self) -> PipelineStatsSnapshot {
         PipelineStatsSnapshot {
-            commits: self.commits.load(Ordering::Relaxed),
-            abort_markers: self.abort_markers.load(Ordering::Relaxed),
-            records_persisted: self.records_persisted.load(Ordering::Relaxed),
-            entries_logged: self.entries_logged.load(Ordering::Relaxed),
-            groups_persisted: self.groups_persisted.load(Ordering::Relaxed),
-            entries_before_combine: self.entries_before_combine.load(Ordering::Relaxed),
-            entries_after_combine: self.entries_after_combine.load(Ordering::Relaxed),
-            group_bytes_raw: self.group_bytes_raw.load(Ordering::Relaxed),
-            group_bytes_stored: self.group_bytes_stored.load(Ordering::Relaxed),
-            txns_reproduced: self.txns_reproduced.load(Ordering::Relaxed),
-            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            commits: self.commits.get(),
+            abort_markers: self.abort_markers.get(),
+            records_persisted: self.records_persisted.get(),
+            entries_logged: self.entries_logged.get(),
+            groups_persisted: self.groups_persisted.get(),
+            entries_before_combine: self.entries_before_combine.get(),
+            entries_after_combine: self.entries_after_combine.get(),
+            group_bytes_raw: self.group_bytes_raw.get(),
+            group_bytes_stored: self.group_bytes_stored.get(),
+            txns_reproduced: self.txns_reproduced.get(),
+            checkpoints: self.checkpoints.get(),
+            log_bytes_flushed: self.log_bytes_flushed.get(),
         }
     }
 }
@@ -89,6 +96,7 @@ impl PipelineStatsSnapshot {
             group_bytes_stored: self.group_bytes_stored - earlier.group_bytes_stored,
             txns_reproduced: self.txns_reproduced - earlier.txns_reproduced,
             checkpoints: self.checkpoints - earlier.checkpoints,
+            log_bytes_flushed: self.log_bytes_flushed - earlier.log_bytes_flushed,
         }
     }
 
@@ -111,9 +119,10 @@ impl PipelineStatsSnapshot {
 
     /// Named `(counter, value)` pairs in declaration order — the stable
     /// machine-readable export the `dude-bench` runner embeds in its
-    /// `BENCH_<spec>.json` records. Keys match the field names.
+    /// `BENCH_<spec>.json` records. Keys match the field names (and the
+    /// metrics-registry counter names).
     #[must_use]
-    pub fn export(&self) -> [(&'static str, u64); 11] {
+    pub fn export(&self) -> [(&'static str, u64); 12] {
         [
             ("commits", self.commits),
             ("abort_markers", self.abort_markers),
@@ -126,6 +135,7 @@ impl PipelineStatsSnapshot {
             ("group_bytes_stored", self.group_bytes_stored),
             ("txns_reproduced", self.txns_reproduced),
             ("checkpoints", self.checkpoints),
+            ("log_bytes_flushed", self.log_bytes_flushed),
         ]
     }
 }
@@ -164,6 +174,13 @@ pub struct PipelineSnapshot {
     /// is disabled — stall accounting is gated with the rest of the layer
     /// so the disabled pipeline takes no extra atomics).
     pub stalls: StallSnapshot,
+    /// Every stage histogram, as `(name, snapshot)` in registry order —
+    /// the three fixed histograms, then `replay_apply_ns{shard="s"}` per
+    /// Reproduce shard, then `flush_worker_ns{worker="w"}` per grouped
+    /// flush worker. Present (with zero counts) even when tracing is
+    /// disabled, so [`PipelineSnapshot::summary`] always names the full
+    /// catalog.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
 }
 
 impl PipelineSnapshot {
@@ -197,26 +214,46 @@ impl PipelineSnapshot {
         max - self.frontier_min()
     }
 
-    /// One-line human-readable summary (bench-report friendly).
+    /// Human-readable summary (bench-report friendly). Multi-line: the
+    /// watermark/lag line, every stage counter (the same names as
+    /// [`PipelineStatsSnapshot::export`] and the metrics registry), the
+    /// shard frontier when sharded, all five stall counters, and one line
+    /// per stage histogram — the summary names every pipeline metric the
+    /// registry carries (asserted by `tests/metrics_layer.rs`).
     pub fn summary(&self) -> String {
+        let c = &self.counters;
         let mut line = format!(
-            "committed={} durable={} (lag {}) reproduced={} (lag {}) \
-             ring-words={} commits={} aborts={} replayed={} checkpoints={}",
+            "committed={} durable={} (lag {}) reproduced={} (lag {}) ring-words={}",
             self.committed,
             self.durable,
             self.persist_lag(),
             self.reproduced,
             self.reproduce_lag(),
             self.ring_words_total(),
-            self.counters.commits,
-            self.counters.abort_markers,
-            self.counters.txns_reproduced,
-            self.counters.checkpoints,
         );
+        line.push_str(&format!(
+            "\ncounters[commits={} abort_markers={} records_persisted={} \
+             entries_logged={} groups_persisted={} entries_before_combine={} \
+             entries_after_combine={} group_bytes_raw={} group_bytes_stored={} \
+             txns_reproduced={} checkpoints={} log_bytes_flushed={}]",
+            c.commits,
+            c.abort_markers,
+            c.records_persisted,
+            c.entries_logged,
+            c.groups_persisted,
+            c.entries_before_combine,
+            c.entries_after_combine,
+            c.group_bytes_raw,
+            c.group_bytes_stored,
+            c.txns_reproduced,
+            c.checkpoints,
+            c.log_bytes_flushed,
+        ));
         if self.shard_completed.len() > 1 {
             line.push_str(&format!(
-                " shards={} frontier-skew={}",
+                " shards={} frontier-min={} frontier-skew={}",
                 self.shard_completed.len(),
+                self.frontier_min(),
                 self.frontier_skew()
             ));
         }
@@ -228,6 +265,17 @@ impl PipelineSnapshot {
             self.stalls.reproduce_starved,
             self.stalls.checkpoint_wait,
         ));
+        for (name, h) in &self.histograms {
+            line.push_str(&format!(
+                "\nhist[{} count={} p50={} p95={} p99={} max={}]",
+                name,
+                h.count,
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max,
+            ));
+        }
         line
     }
 }
@@ -253,12 +301,28 @@ mod tests {
 
     #[test]
     fn snapshot_copies_counters() {
+        use std::sync::atomic::Ordering;
         let s = PipelineStats::default();
         s.commits.store(5, Ordering::Relaxed);
         s.txns_reproduced.store(3, Ordering::Relaxed);
+        s.log_bytes_flushed.store(64, Ordering::Relaxed);
         let snap = s.snapshot();
         assert_eq!(snap.commits, 5);
         assert_eq!(snap.txns_reproduced, 3);
+        assert_eq!(snap.log_bytes_flushed, 64);
+    }
+
+    #[test]
+    fn export_names_match_fields() {
+        let snap = PipelineStatsSnapshot {
+            commits: 1,
+            log_bytes_flushed: 2,
+            ..Default::default()
+        };
+        let export = snap.export();
+        assert_eq!(export.len(), 12);
+        assert_eq!(export[0], ("commits", 1));
+        assert_eq!(export[11], ("log_bytes_flushed", 2));
     }
 
     #[test]
@@ -280,6 +344,44 @@ mod tests {
     }
 
     #[test]
+    fn summary_prints_every_export_counter() {
+        let snap = PipelineSnapshot::default();
+        let line = snap.summary();
+        for (name, _) in snap.counters.export() {
+            assert!(line.contains(&format!("{name}=")), "{name} missing: {line}");
+        }
+    }
+
+    #[test]
+    fn summary_prints_histogram_lines() {
+        let snap = PipelineSnapshot {
+            histograms: vec![
+                (
+                    "commit_latency_ns".to_string(),
+                    HistogramSnapshot::default(),
+                ),
+                (
+                    "flush_worker_ns{worker=\"1\"}".to_string(),
+                    HistogramSnapshot {
+                        buckets: vec![0; 65],
+                        count: 4,
+                        sum: 40,
+                        max: 17,
+                    },
+                ),
+            ],
+            ..Default::default()
+        };
+        let line = snap.summary();
+        assert!(line.contains("hist[commit_latency_ns count=0"), "{line}");
+        assert!(
+            line.contains("hist[flush_worker_ns{worker=\"1\"} count=4"),
+            "{line}"
+        );
+        assert!(line.contains("max=17]"), "{line}");
+    }
+
+    #[test]
     fn frontier_math_and_shard_summary() {
         let snap = PipelineSnapshot {
             reproduced: 70,
@@ -291,6 +393,7 @@ mod tests {
         assert_eq!(snap.frontier_skew(), 12);
         let line = snap.summary();
         assert!(line.contains("shards=4"), "{line}");
+        assert!(line.contains("frontier-min=70"), "{line}");
         assert!(line.contains("frontier-skew=12"), "{line}");
         // Serial snapshots stay terse.
         let serial = PipelineSnapshot {

@@ -27,6 +27,9 @@
 //! pre-observability runtime (verified by `tests/trace_layer.rs`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::metrics::Counter;
 
 /// Number of power-of-two buckets in a [`LatencyHistogram`]. Bucket `b >= 1`
 /// covers `[2^(b-1), 2^b - 1]`; bucket 0 holds exact zeros. 64 buckets cover
@@ -433,26 +436,28 @@ impl HistogramSnapshot {
 
 /// The five ways a pipeline stage blocks, counted by name. Incremented
 /// only when tracing is enabled (one branch otherwise), surfaced through
-/// [`crate::PipelineSnapshot`].
+/// [`crate::PipelineSnapshot`]. The fields are [`Counter`] handles so the
+/// metrics registry can share the same cells without a second increment
+/// anywhere.
 #[derive(Debug, Default)]
 pub struct StallCounters {
     /// Perform found its bounded volatile log channel full at commit and
     /// had to block until the Persist stage drained it (§3.2's
     /// backpressure actually biting).
-    pub perform_log_full: AtomicU64,
+    pub perform_log_full: Counter,
     /// A Persist worker found a persistent log ring without space and
     /// parked the record (Reproduce has not recycled fast enough).
-    pub persist_ring_full: AtomicU64,
+    pub persist_ring_full: Counter,
     /// The grouped-Persist sequencer idled with records stashed out of
     /// order: the next expected TID has not arrived, so no group can be
     /// sealed (a Perform thread is slow to hand over its log).
-    pub persist_seq_wait: AtomicU64,
+    pub persist_seq_wait: Counter,
     /// A Reproduce worker's input timed out with an empty reorder heap —
     /// replay is ahead of the Persist stage and idling.
-    pub reproduce_starved: AtomicU64,
+    pub reproduce_starved: Counter,
     /// Yield iterations the shutdown checkpoint spent waiting for the
     /// slowest Reproduce shard to reach the drain target.
-    pub checkpoint_wait: AtomicU64,
+    pub checkpoint_wait: Counter,
 }
 
 impl StallCounters {
@@ -489,25 +494,27 @@ pub struct StallSnapshot {
 /// stage histograms, and stall counters, all behind one `enabled` flag.
 ///
 /// Obtain via [`crate::DudeTm::trace`]; export with [`Trace::to_json`].
+/// The histograms are `Arc`-shared so the metrics registry can hold the
+/// same instances under named handles.
 #[derive(Debug)]
 pub struct Trace {
     config: TraceConfig,
     ring: TraceRing,
     /// Wall time from transaction start to commit acknowledgement on the
     /// Perform thread (includes aborted attempts of the same transaction).
-    pub commit_latency_ns: LatencyHistogram,
+    pub commit_latency_ns: Arc<LatencyHistogram>,
     /// Duration of each Persist-stage ordering barrier (the modeled NVM
     /// fence cost plus scheduling).
-    pub persist_barrier_ns: LatencyHistogram,
+    pub persist_barrier_ns: Arc<LatencyHistogram>,
     /// Stored bytes of each combined group flush (grouping mode only).
-    pub group_flush_bytes: LatencyHistogram,
+    pub group_flush_bytes: Arc<LatencyHistogram>,
     /// Per-shard wall time applying one replay run to the heap image
     /// (index = shard; one entry in serial mode).
-    pub replay_apply_ns: Vec<LatencyHistogram>,
+    pub replay_apply_ns: Vec<Arc<LatencyHistogram>>,
     /// Per-flush-worker wall time persisting one group — serialize,
     /// optional compression, ring write, and fence, including any wait for
     /// ring space (index = worker; one entry outside grouped mode).
-    pub flush_worker_ns: Vec<LatencyHistogram>,
+    pub flush_worker_ns: Vec<Arc<LatencyHistogram>>,
     /// Stall counters (see [`StallCounters`]).
     pub stalls: StallCounters,
 }
@@ -528,14 +535,14 @@ impl Trace {
             } else {
                 0
             }),
-            commit_latency_ns: LatencyHistogram::new(),
-            persist_barrier_ns: LatencyHistogram::new(),
-            group_flush_bytes: LatencyHistogram::new(),
+            commit_latency_ns: Arc::new(LatencyHistogram::new()),
+            persist_barrier_ns: Arc::new(LatencyHistogram::new()),
+            group_flush_bytes: Arc::new(LatencyHistogram::new()),
             replay_apply_ns: (0..shards.max(1))
-                .map(|_| LatencyHistogram::new())
+                .map(|_| Arc::new(LatencyHistogram::new()))
                 .collect(),
             flush_worker_ns: (0..flush_workers.max(1))
-                .map(|_| LatencyHistogram::new())
+                .map(|_| Arc::new(LatencyHistogram::new()))
                 .collect(),
             stalls: StallCounters::default(),
         }

@@ -61,6 +61,10 @@ fn disabled_trace_is_behavior_identical_to_enabled() {
     snap_off.counters.checkpoints = 0;
     snap_on.counters.checkpoints = 0;
     snap_on.stalls = Default::default();
+    // Histogram counts are what tracing records — the disabled run keeps
+    // them empty by contract, so they are not part of the equality.
+    snap_off.histograms.clear();
+    snap_on.histograms.clear();
     assert_eq!(
         snap_off, snap_on,
         "PipelineSnapshot must not depend on tracing"
@@ -103,6 +107,8 @@ fn disabled_trace_is_behavior_identical_to_enabled_sim() {
     snap_on.counters.checkpoints = 0;
     snap_off.stalls = Default::default();
     snap_on.stalls = Default::default();
+    snap_off.histograms.clear();
+    snap_on.histograms.clear();
     assert_eq!(
         snap_off, snap_on,
         "PipelineSnapshot must not depend on tracing (DUDE_SIM_SEED={seed})"
